@@ -1,0 +1,167 @@
+package sbcrawl
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each benchmark
+// runs the corresponding experiment end-to-end at a reduced scale so the
+// whole suite completes on a laptop; `cmd/crawlbench` runs the same
+// experiments at arbitrary scales and prints the paper-style reports.
+
+import (
+	"io"
+	"testing"
+
+	"sbcrawl/internal/experiments"
+)
+
+// benchConfig keeps each iteration around a second: floor-size sites, one
+// run per stochastic crawler.
+func benchConfig(sites ...string) experiments.Config {
+	return experiments.Config{
+		Scale:    0.0005,
+		Seed:     1,
+		Runs:     1,
+		Sites:    sites,
+		MaxPages: 150,
+		Out:      io.Discard,
+	}
+}
+
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1SiteGeneration regenerates Table 1 (site characteristics).
+func BenchmarkTable1SiteGeneration(b *testing.B) {
+	runExperiment(b, "table1", benchConfig())
+}
+
+// BenchmarkTable2RequestsTo90 regenerates Table 2 (top): % of requests to
+// retrieve 90% of targets, all crawlers.
+func BenchmarkTable2RequestsTo90(b *testing.B) {
+	runExperiment(b, "table2", benchConfig("cl", "cn"))
+}
+
+// BenchmarkTable2EarlyStopping regenerates Table 2 (bottom): early-stopping
+// savings and losses.
+func BenchmarkTable2EarlyStopping(b *testing.B) {
+	runExperiment(b, "earlystop", benchConfig("cl", "ok"))
+}
+
+// BenchmarkTable3VolumeTo90 regenerates Table 3: non-target volume before
+// 90% of target volume.
+func BenchmarkTable3VolumeTo90(b *testing.B) {
+	runExperiment(b, "table3", benchConfig("cl", "cn"))
+}
+
+// BenchmarkFigure4Curves regenerates the Figure 4/7 performance curves.
+func BenchmarkFigure4Curves(b *testing.B) {
+	runExperiment(b, "fig4", benchConfig("cl"))
+}
+
+// BenchmarkTable4Alpha regenerates Table 4 (top) / Figures 8–9: α sweep.
+func BenchmarkTable4Alpha(b *testing.B) {
+	runExperiment(b, "table4-alpha", benchConfig("cl", "qa"))
+}
+
+// BenchmarkTable4Ngram regenerates Table 4 (middle) / Figures 10–11: n sweep.
+func BenchmarkTable4Ngram(b *testing.B) {
+	runExperiment(b, "table4-ngram", benchConfig("cl", "qa"))
+}
+
+// BenchmarkTable4Theta regenerates Table 4 (bottom) / Figures 12–13: θ sweep.
+func BenchmarkTable4Theta(b *testing.B) {
+	runExperiment(b, "table4-theta", benchConfig("cl", "qa"))
+}
+
+// BenchmarkTable5Classifiers regenerates Table 5 / Figure 14: the eight URL
+// classifier variants plus the MR column.
+func BenchmarkTable5Classifiers(b *testing.B) {
+	runExperiment(b, "table5", benchConfig("cl"))
+}
+
+// BenchmarkTable6RewardStats regenerates Table 6: non-zero reward means/STDs.
+func BenchmarkTable6RewardStats(b *testing.B) {
+	runExperiment(b, "table6", benchConfig("cl", "nc"))
+}
+
+// BenchmarkFigure5TopGroups regenerates Figure 5: top-10 tag-path group
+// rewards.
+func BenchmarkFigure5TopGroups(b *testing.B) {
+	runExperiment(b, "fig5", benchConfig("nc", "wo"))
+}
+
+// BenchmarkTable7SDYield regenerates Table 7: statistics-dataset yield.
+func BenchmarkTable7SDYield(b *testing.B) {
+	runExperiment(b, "table7", benchConfig())
+}
+
+// BenchmarkTable8ConfusionMatrices regenerates Tables 8–16: per-variant
+// confusion matrices.
+func BenchmarkTable8ConfusionMatrices(b *testing.B) {
+	runExperiment(b, "confusion", benchConfig("cl"))
+}
+
+// BenchmarkFigure15EarlyStopVis regenerates Figure 15: the early-stop cut.
+func BenchmarkFigure15EarlyStopVis(b *testing.B) {
+	runExperiment(b, "fig15", benchConfig("cl"))
+}
+
+// BenchmarkSearchEngineCoverage regenerates the Sec. 4.2 search-engine
+// comparison.
+func BenchmarkSearchEngineCoverage(b *testing.B) {
+	runExperiment(b, "searchengines", benchConfig("ju"))
+}
+
+// BenchmarkAblationBanditPolicy compares AUER / UCB1 / ε-greedy / Thompson
+// (DESIGN.md §4).
+func BenchmarkAblationBanditPolicy(b *testing.B) {
+	runExperiment(b, "ablation-policy", benchConfig("cl"))
+}
+
+// BenchmarkAblationReward compares the novelty reward against raw counts.
+func BenchmarkAblationReward(b *testing.B) {
+	runExperiment(b, "ablation-reward", benchConfig("cl"))
+}
+
+// BenchmarkAblationProjectionDim sweeps the projection dimension D = 2^m.
+func BenchmarkAblationProjectionDim(b *testing.B) {
+	runExperiment(b, "ablation-dim", benchConfig("cl"))
+}
+
+// BenchmarkAblationBatchSize sweeps the classifier batch size b.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	runExperiment(b, "ablation-batch", benchConfig("cl"))
+}
+
+// BenchmarkExtensionRevisit measures the incremental-revisit extension
+// (DESIGN.md §7).
+func BenchmarkExtensionRevisit(b *testing.B) {
+	runExperiment(b, "ext-revisit", benchConfig("nc"))
+}
+
+// BenchmarkQuickstartCrawl measures the end-to-end public-API crawl the
+// README opens with.
+func BenchmarkQuickstartCrawl(b *testing.B) {
+	site, err := GenerateSite("cl", 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrawlSite(site, Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command crawlbench regenerates the paper's tables and figures over the
+// synthetic website substrate.
+//
+// Usage:
+//
+//	crawlbench -list
+//	crawlbench -exp table2 -scale 0.002 -runs 3
+//	crawlbench -exp fig4 -sites ce,ju -csv out/
+//	crawlbench -exp all
+//
+// Scale 0.002 shrinks every site to 1/500 of its paper size; shapes (who
+// wins, by what factor) are preserved, absolute counts are not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sbcrawl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Float64("scale", 0.002, "site size multiplier vs the paper")
+		seed     = flag.Int64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 3, "repetitions for stochastic crawlers (paper: 15)")
+		sites    = flag.String("sites", "", "comma-separated site codes (default: experiment's own)")
+		maxPages = flag.Int("maxpages", 0, "cap per-site page count (0 = none)")
+		csvDir   = flag.String("csv", "", "directory for figure CSV series")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (paper artifact → report):")
+		for _, e := range experiments.All {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:    *scale,
+		Seed:     *seed,
+		Runs:     *runs,
+		MaxPages: *maxPages,
+		CSVDir:   *csvDir,
+		Out:      os.Stdout,
+	}
+	if *sites != "" {
+		cfg.Sites = strings.Split(*sites, ",")
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All {
+			fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+			if err := e.Run(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "crawlbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "crawlbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := e.Run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "crawlbench: %v\n", err)
+		os.Exit(1)
+	}
+}

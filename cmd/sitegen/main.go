@@ -1,0 +1,68 @@
+// Command sitegen generates one of the synthetic evaluation websites,
+// prints its Table 1 characteristics, and can serve it over HTTP so any
+// crawler (this project's or an external one) can be pointed at it.
+//
+//	sitegen -site ju -scale 0.01 -stats
+//	sitegen -site il -scale 0.005 -serve 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"sbcrawl/internal/sitegen"
+	"sbcrawl/internal/webserver"
+)
+
+func main() {
+	var (
+		code  = flag.String("site", "ju", "site profile code (Table 1)")
+		scale = flag.Float64("scale", 0.01, "size multiplier vs the paper")
+		seed  = flag.Int64("seed", 1, "random seed")
+		stats = flag.Bool("stats", true, "print site characteristics")
+		serve = flag.String("serve", "", "address to serve the site on (e.g. 127.0.0.1:8080)")
+		dump  = flag.Bool("urls", false, "print every generated URL with its kind")
+	)
+	flag.Parse()
+
+	profile, ok := sitegen.ProfileByCode(*code)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sitegen: unknown site %q; known codes:", *code)
+		for _, p := range sitegen.Profiles {
+			fmt.Fprintf(os.Stderr, " %s", p.Code)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	site := sitegen.Generate(sitegen.Config{Profile: profile, Scale: *scale, Seed: *seed})
+
+	if *stats {
+		st := site.ComputeStats()
+		fmt.Printf("site %s — %s (root %s)\n", profile.Code, profile.Name, site.Root())
+		fmt.Printf("  available pages:   %d (HTML %d, targets %d)\n",
+			st.Available, st.HTMLPages, st.Targets)
+		fmt.Printf("  HTML-to-target:    %.2f%%\n", st.HTMLToTargetPct)
+		fmt.Printf("  target size:       %.1f KB (±%.1f)\n",
+			st.TargetSizeMean/1024, st.TargetSizeStd/1024)
+		fmt.Printf("  target depth:      %.2f (±%.2f)\n", st.TargetDepthMean, st.TargetDepthStd)
+		fmt.Printf("  error pages:       %d, redirects: %d\n", st.ErrorPages, st.Redirects)
+	}
+	if *dump {
+		kinds := map[sitegen.PageKind]string{
+			sitegen.KindHTML: "html", sitegen.KindTarget: "target",
+			sitegen.KindError: "error", sitegen.KindRedirect: "redirect",
+		}
+		for _, p := range site.Pages() {
+			fmt.Printf("%-8s %s\n", kinds[p.Kind], p.URL)
+		}
+	}
+	if *serve != "" {
+		fmt.Printf("serving %s on http://%s/ — point a crawler at it\n", profile.Code, *serve)
+		if err := http.ListenAndServe(*serve, webserver.New(site).Handler()); err != nil {
+			fmt.Fprintf(os.Stderr, "sitegen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

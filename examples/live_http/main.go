@@ -1,0 +1,63 @@
+// Live HTTP: the full production path. A generated website is served on a
+// real 127.0.0.1 socket and crawled through the net/http fetcher with a
+// politeness delay — exactly how the crawler would be pointed at a real
+// website, but self-contained.
+//
+//	go run ./examples/live_http
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"sbcrawl"
+)
+
+func main() {
+	site, err := sbcrawl.GenerateSite("cl", 0.02, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: site.Handler()}
+	go func() {
+		if err := server.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer server.Close()
+
+	root := "http://" + ln.Addr().String() + "/"
+	fmt.Printf("serving %s (%s) at %s\n", site.Code(), site.Name(), root)
+	fmt.Printf("%d pages, %d targets; crawling with 5ms politeness…\n\n",
+		site.PageCount(), site.TargetCount())
+
+	start := time.Now()
+	res, err := sbcrawl.Crawl(sbcrawl.Config{
+		Root:       root,
+		Politeness: 5 * time.Millisecond, // 1s on a site you do not own!
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawl finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("requests:  %d\n", res.Requests)
+	fmt.Printf("targets:   %d/%d retrieved over real HTTP\n", len(res.Targets), site.TargetCount())
+	fmt.Printf("volume:    %.2f MB targets, %.2f MB pages\n",
+		float64(res.TargetBytes)/1e6, float64(res.NonTargetBytes)/1e6)
+	for i, u := range res.Targets {
+		if i == 5 {
+			fmt.Printf("  … and %d more\n", len(res.Targets)-5)
+			break
+		}
+		fmt.Printf("  %s\n", u)
+	}
+}

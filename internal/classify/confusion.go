@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a 3×3 confusion matrix over (true class, predicted class).
+// The predicted-Neither column is structurally zero: the classifier never
+// predicts it (Tables 8–16 all show a zero third column).
+type Confusion struct {
+	// Counts[t][p] counts URLs of true class t predicted as p.
+	Counts [3][3]int
+}
+
+// NewConfusion returns an empty matrix.
+func NewConfusion() *Confusion { return &Confusion{} }
+
+// Record adds one observation.
+func (c *Confusion) Record(trueClass, predClass int) {
+	if trueClass < 0 || trueClass > 2 || predClass < 0 || predClass > 2 {
+		return
+	}
+	c.Counts[trueClass][predClass]++
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Percent returns the matrix normalized to percentages of the total, the
+// presentation of Tables 8–16.
+func (c *Confusion) Percent() [3][3]float64 {
+	var out [3][3]float64
+	total := float64(c.Total())
+	if total == 0 {
+		return out
+	}
+	for t := range c.Counts {
+		for p := range c.Counts[t] {
+			out[t][p] = 100 * float64(c.Counts[t][p]) / total
+		}
+	}
+	return out
+}
+
+// MisclassificationRate is the "MR" column of Table 5: the share of
+// HTML-true and Target-true URLs that were predicted wrongly, in percent.
+// Neither-true rows are excluded — the classifier cannot be right on them
+// by design.
+func (c *Confusion) MisclassificationRate() float64 {
+	var wrong, total int
+	for _, t := range []int{ClassHTML, ClassTarget} {
+		for p := 0; p < 3; p++ {
+			total += c.Counts[t][p]
+			if p != t {
+				wrong += c.Counts[t][p]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(wrong) / float64(total)
+}
+
+// Merge adds another matrix into this one (inter-site averaging).
+func (c *Confusion) Merge(other *Confusion) {
+	for t := range c.Counts {
+		for p := range c.Counts[t] {
+			c.Counts[t][p] += other.Counts[t][p]
+		}
+	}
+}
+
+// String renders the matrix in the paper's table layout.
+func (c *Confusion) String() string {
+	pct := c.Percent()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "True\\Pred", "HTML(%)", "Target(%)", "Neither(%)")
+	names := []string{"HTML", "Target", "Neither"}
+	for t, name := range names {
+		fmt.Fprintf(&b, "%-10s %10.2f %10.2f %10.2f\n", name, pct[t][0], pct[t][1], pct[t][2])
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sbcrawl/internal/hnsw"
+	"sbcrawl/internal/textvec"
+)
+
+// ActionIndex realizes Algorithm 1: it maps each hyperlink's tag path to an
+// action — an evolving cluster of similar tag paths represented only by its
+// centroid, stored in an HNSW index. A path joins its nearest action when
+// the cosine similarity clears θ; otherwise it founds a new action.
+type ActionIndex struct {
+	vec   *textvec.TagPathVectorizer
+	index *hnsw.Index
+	theta float64
+	// paths[a] counts the tag paths merged into action a (the centroid's
+	// denominator).
+	paths []int
+	// example remembers one representative tag-path string per action,
+	// for the qualitative analysis of Sec. 4.7.
+	example []string
+}
+
+// ActionIndexConfig carries the hyper-parameters of Sections 3.1–3.2.
+type ActionIndexConfig struct {
+	// N is the n-gram order over tag-path tokens (paper default 2).
+	N int
+	// M is the projection dimension exponent, D = 2^M (default 12).
+	M uint
+	// W is the hash modulus exponent, w > m (default 15).
+	W uint
+	// Theta is the similarity threshold θ (default 0.75).
+	Theta float64
+	// Seed drives the HNSW level draws.
+	Seed int64
+}
+
+func (c ActionIndexConfig) withDefaults() ActionIndexConfig {
+	if c.N <= 0 {
+		c.N = 2
+	}
+	if c.M == 0 {
+		c.M = 12
+	}
+	if c.W <= c.M {
+		c.W = c.M + 3
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.75
+	}
+	return c
+}
+
+// NewActionIndex builds an empty index.
+func NewActionIndex(cfg ActionIndexConfig) *ActionIndex {
+	cfg = cfg.withDefaults()
+	hcfg := hnsw.DefaultConfig()
+	hcfg.Seed = cfg.Seed + 1
+	return &ActionIndex{
+		vec:   textvec.NewTagPathVectorizer(cfg.N, cfg.M, cfg.W),
+		index: hnsw.New(hcfg),
+		theta: cfg.Theta,
+	}
+}
+
+// ActionFor assigns the tag path to an action (Algorithm 1), creating a new
+// one when no centroid is similar enough, and returns the action ID.
+func (ai *ActionIndex) ActionFor(tokens []string) int {
+	pD := ai.vec.Vectorize(tokens)
+	if nearest, ok := ai.index.Nearest(pD); ok && nearest.Similarity >= ai.theta {
+		a := nearest.ID
+		// Incremental centroid update: c ← c + (p − c)/(n+1).
+		c := ai.index.Vector(a)
+		n := float64(ai.paths[a])
+		updated := make([]float64, len(c))
+		for i := range c {
+			updated[i] = c[i] + (pD[i]-c[i])/(n+1)
+		}
+		ai.index.Update(a, updated)
+		ai.paths[a]++
+		return a
+	}
+	id := ai.index.Add(pD)
+	ai.paths = append(ai.paths, 1)
+	ai.example = append(ai.example, joinTokens(tokens))
+	return id
+}
+
+// Match finds the action whose centroid clears θ for the tag path, without
+// creating actions or moving centroids — the frozen-group query of the
+// TP-OFF baseline's second phase.
+func (ai *ActionIndex) Match(tokens []string) (int, bool) {
+	pD := ai.vec.Vectorize(tokens)
+	if nearest, ok := ai.index.Nearest(pD); ok && nearest.Similarity >= ai.theta {
+		return nearest.ID, true
+	}
+	return 0, false
+}
+
+// NumActions returns |A|.
+func (ai *ActionIndex) NumActions() int { return ai.index.Len() }
+
+// PathCount returns how many tag paths have merged into the action.
+func (ai *ActionIndex) PathCount(a int) int { return ai.paths[a] }
+
+// Example returns the founding tag path of the action (human inspection of
+// top groups, Sec. 4.7).
+func (ai *ActionIndex) Example(a int) string { return ai.example[a] }
+
+func joinTokens(tokens []string) string {
+	out := ""
+	for i, t := range tokens {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}

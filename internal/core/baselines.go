@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sbcrawl/internal/frontier"
+)
+
+// simpleFrontier abstracts the three unordered baselines' frontiers.
+type simpleFrontier interface {
+	Push(url string)
+	Pop() (string, bool)
+	Len() int
+}
+
+// simpleCrawler drives BFS, DFS, and RANDOM: pop a URL, fetch it, push every
+// new link. No classification, no learning — targets are collected when the
+// crawl happens to fetch them.
+type simpleCrawler struct {
+	name  string
+	front func() simpleFrontier
+}
+
+// NewBFS returns the breadth-first exhaustive crawler (FIFO frontier).
+func NewBFS() Crawler {
+	return &simpleCrawler{name: "BFS", front: func() simpleFrontier { return &frontier.Queue{} }}
+}
+
+// NewDFS returns the depth-first crawler (LIFO frontier, robot-trap prone).
+func NewDFS() Crawler {
+	return &simpleCrawler{name: "DFS", front: func() simpleFrontier { return &frontier.Stack{} }}
+}
+
+// NewRandom returns the uniform-random-frontier crawler.
+func NewRandom(seed int64) Crawler {
+	return &simpleCrawler{name: "RANDOM", front: func() simpleFrontier { return frontier.NewRandom(seed) }}
+}
+
+// Name implements Crawler.
+func (c *simpleCrawler) Name() string { return c.name }
+
+// Run implements Crawler.
+func (c *simpleCrawler) Run(env *Env) (*Result, error) {
+	eng, err := newEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	f := c.front()
+	eng.seen[env.Root] = true
+	f.Push(env.Root)
+	steps := 0
+	for f.Len() > 0 && eng.budgetLeft() {
+		u, ok := f.Pop()
+		if !ok {
+			break
+		}
+		steps++
+		pg := eng.fetchPage(u)
+		if pg.Truncated {
+			break
+		}
+		for _, link := range pg.Links {
+			eng.seen[link.URL] = true
+			f.Push(link.URL)
+		}
+	}
+	return eng.result(c.name, steps), nil
+}
+
+// omniscient knows V* in advance and retrieves exactly the targets, the
+// unreachable upper bound of Section 4.3.
+type omniscient struct{}
+
+// NewOmniscient returns the OMNISCIENT reference crawler; it requires
+// Env.OracleTargets.
+func NewOmniscient() Crawler { return &omniscient{} }
+
+// Name implements Crawler.
+func (omniscient) Name() string { return "OMNISCIENT" }
+
+// Run implements Crawler.
+func (omniscient) Run(env *Env) (*Result, error) {
+	eng, err := newEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	steps := 0
+	for _, u := range env.OracleTargets {
+		if !eng.budgetLeft() {
+			break
+		}
+		steps++
+		if pg := eng.fetchPage(u); pg.Truncated {
+			break
+		}
+	}
+	return eng.result("OMNISCIENT", steps), nil
+}

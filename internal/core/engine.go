@@ -1,0 +1,291 @@
+// Package core implements the paper's crawling framework: the shared crawl
+// engine realizing Algorithm 4 (fetch, redirect handling, MIME dispatch,
+// link extraction and filtering), the action index of Algorithm 1, the
+// SB-CLASSIFIER / SB-ORACLE crawlers of Algorithm 3, the six baselines of
+// Section 4.3 (BFS, DFS, RANDOM, OMNISCIENT, FOCUSED, TP-OFF, TRES), and the
+// early-stopping rule of Section 4.8.
+package core
+
+import (
+	"fmt"
+	"net/url"
+
+	"sbcrawl/internal/classify"
+	"sbcrawl/internal/dom"
+	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/urlutil"
+)
+
+// Env is everything a crawler needs to run against one website. The same
+// Env drives simulated and live crawls; oracles are optional hooks the
+// privileged crawlers use.
+type Env struct {
+	// Root is the start URL r.
+	Root string
+	// Fetcher issues the HTTP traffic.
+	Fetcher fetch.Fetcher
+	// TargetMIMEs is the user-defined target MIME list L (defaults to the
+	// paper's 38 types when nil).
+	TargetMIMEs urlutil.MIMESet
+	// MaxRequests is the crawl budget B in HTTP requests (0 = unlimited).
+	MaxRequests int
+
+	// OracleClass maps a URL to its true class (classify.Class*); used by
+	// SB-ORACLE and TRES. Nil for realistic crawlers.
+	OracleClass func(url string) int
+	// OracleBenefit returns the number of target links on an HTML page,
+	// the "true benefit" TP-OFF receives for its warm-up (Sec. 4.3).
+	OracleBenefit func(url string) int
+	// OracleTargets lists every target URL; only OMNISCIENT may read it.
+	OracleTargets []string
+}
+
+func (e *Env) targetMIMEs() urlutil.MIMESet {
+	if e.TargetMIMEs != nil {
+		return e.TargetMIMEs
+	}
+	return urlutil.DefaultTargetSet()
+}
+
+// Crawler runs a crawl strategy over an Env.
+type Crawler interface {
+	// Name is the paper's label for the strategy (e.g. "SB-CLASSIFIER").
+	Name() string
+	// Run crawls until the frontier is empty, the budget is exhausted, or
+	// early stopping fires.
+	Run(env *Env) (*Result, error)
+}
+
+// Result is the outcome of one crawl.
+type Result struct {
+	Crawler        string
+	Trace          *Trace
+	Targets        []string
+	Requests       int
+	HeadRequests   int
+	TargetBytes    int64
+	NonTargetBytes int64
+	Steps          int
+	EarlyStopped   bool
+	// Actions holds per-action statistics for the SB crawlers (Fig. 5,
+	// Table 6); nil for baselines.
+	Actions []ActionStat
+	// Confusion holds the URL classifier's confusion matrix for
+	// SB-CLASSIFIER; nil otherwise.
+	Confusion *classify.Confusion
+}
+
+// ActionStat summarizes one tag-path group after a crawl.
+type ActionStat struct {
+	ID         int
+	MeanReward float64
+	Selections int
+	Paths      int // tag paths merged into the action
+}
+
+// Trace records the crawl's progress after every HTTP request, the raw
+// series behind every figure and table of the evaluation.
+type Trace struct {
+	// Cumulative values indexed by request number (0-based).
+	Targets        []int32
+	TargetBytes    []int64
+	NonTargetBytes []int64
+}
+
+// Record appends one point.
+func (tr *Trace) Record(targets int, targetBytes, nonTargetBytes int64) {
+	tr.Targets = append(tr.Targets, int32(targets))
+	tr.TargetBytes = append(tr.TargetBytes, targetBytes)
+	tr.NonTargetBytes = append(tr.NonTargetBytes, nonTargetBytes)
+}
+
+// Len returns the number of recorded requests.
+func (tr *Trace) Len() int { return len(tr.Targets) }
+
+// engine is the per-run state shared by every crawler: Algorithm 4 without
+// the policy-specific link handling.
+type engine struct {
+	env            *Env
+	scope          *urlutil.Scope
+	mimes          urlutil.MIMESet
+	meter          fetch.Meter
+	trace          *Trace
+	seen           map[string]bool // T ∪ F membership
+	tcount         int
+	targets        []string
+	targetBytes    int64
+	nonTargetBytes int64
+	budgetExceeded bool
+}
+
+func newEngine(env *Env) (*engine, error) {
+	scope, err := urlutil.NewScope(env.Root)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad crawl root: %w", err)
+	}
+	return &engine{
+		env:   env,
+		scope: scope,
+		mimes: env.targetMIMEs(),
+		trace: &Trace{},
+		seen:  make(map[string]bool),
+	}, nil
+}
+
+// budgetLeft reports whether another request may be issued.
+func (e *engine) budgetLeft() bool {
+	return e.env.MaxRequests <= 0 || e.meter.Requests < e.env.MaxRequests
+}
+
+// get issues one charged GET and records the trace point. ok=false when the
+// budget is exhausted (no request is made).
+func (e *engine) get(u string) (fetch.Response, bool) {
+	if !e.budgetLeft() {
+		e.budgetExceeded = true
+		return fetch.Response{}, false
+	}
+	resp, err := e.env.Fetcher.Get(u)
+	if err != nil {
+		// Network failure: charge the attempt, treat as a 5xx.
+		resp = fetch.Response{URL: u, Status: 599}
+	}
+	vol := e.meter.ChargeGet(resp)
+	if resp.Status == 200 && e.mimes.Contains(resp.MIME) {
+		e.targetBytes += vol
+	} else {
+		e.nonTargetBytes += vol
+	}
+	e.trace.Record(e.tcount, e.targetBytes, e.nonTargetBytes)
+	return resp, true
+}
+
+// head issues one charged HEAD (classifier initial phase / TP-OFF probing).
+func (e *engine) head(u string) (fetch.Response, bool) {
+	if !e.budgetLeft() {
+		e.budgetExceeded = true
+		return fetch.Response{}, false
+	}
+	resp, err := e.env.Fetcher.Head(u)
+	if err != nil {
+		resp = fetch.Response{URL: u, Status: 599}
+	}
+	e.nonTargetBytes += e.meter.ChargeHead()
+	e.trace.Record(e.tcount, e.targetBytes, e.nonTargetBytes)
+	return resp, true
+}
+
+// page is the processed outcome of crawling one URL (redirects resolved).
+type page struct {
+	FinalURL string
+	Status   int
+	MIME     string
+	IsHTML   bool
+	IsTarget bool
+	// Links are the new, in-scope, non-blocklisted links of an HTML page,
+	// in document order, with absolute URLs.
+	Links []dom.Link
+	// Truncated reports a budget-exhausted fetch (the page result is
+	// meaningless).
+	Truncated bool
+}
+
+// fetchPage realizes the request-handling core of Algorithm 4: it GETs the
+// URL, follows unvisited redirects (charging every hop), classifies the
+// final response, extracts and filters links from HTML, and accounts
+// retrieved targets.
+func (e *engine) fetchPage(u string) page {
+	const maxHops = 8
+	cur := u
+	for hops := 0; hops <= maxHops; hops++ {
+		e.seen[cur] = true
+		resp, ok := e.get(cur)
+		if !ok {
+			return page{Truncated: true}
+		}
+		switch {
+		case resp.Status >= 300 && resp.Status < 400:
+			loc := urlutil.Normalize(mustParse(cur), resp.Location)
+			if loc == "" || e.seen[loc] || !e.scope.Contains(loc) {
+				return page{FinalURL: cur, Status: resp.Status}
+			}
+			cur = loc
+			continue
+		case resp.Status >= 200 && resp.Status < 300:
+			return e.processSuccess(cur, resp)
+		default:
+			// 4xx/5xx: no links, no targets (Algorithm 4 returns).
+			return page{FinalURL: cur, Status: resp.Status}
+		}
+	}
+	return page{FinalURL: cur, Status: 310} // redirect loop exhausted
+}
+
+func (e *engine) processSuccess(u string, resp fetch.Response) page {
+	p := page{FinalURL: u, Status: resp.Status, MIME: resp.MIME}
+	switch {
+	case resp.Interrupted:
+		// Banned-MIME download was cut; nothing else to do.
+	case urlutil.IsHTML(resp.MIME):
+		p.IsHTML = true
+		p.Links = e.extractNewLinks(u, resp.Body)
+	case e.mimes.Contains(resp.MIME):
+		p.IsTarget = true
+		e.tcount++
+		e.targets = append(e.targets, u)
+		// Re-stamp the trace point now that the target is counted, so the
+		// curve shows the target at the request that fetched it.
+		if n := e.trace.Len(); n > 0 {
+			e.trace.Targets[n-1] = int32(e.tcount)
+		}
+	}
+	return p
+}
+
+// extractNewLinks parses the page body and returns its links after the
+// Algorithm 4 filters: same-website scope, not already in T ∪ F, extension
+// not blocklisted. URLs are normalized to absolute form and deduplicated in
+// document order.
+func (e *engine) extractNewLinks(pageURL string, body []byte) []dom.Link {
+	base := mustParse(pageURL)
+	raw := dom.ExtractLinks(body)
+	out := make([]dom.Link, 0, len(raw))
+	inPage := make(map[string]bool, len(raw))
+	for _, l := range raw {
+		abs := urlutil.Normalize(base, l.URL)
+		if abs == "" || inPage[abs] || e.seen[abs] {
+			continue
+		}
+		if !e.scope.Contains(abs) {
+			continue
+		}
+		if urlutil.HasBlockedExtension(abs) {
+			continue
+		}
+		inPage[abs] = true
+		l.URL = abs
+		out = append(out, l)
+	}
+	return out
+}
+
+func mustParse(raw string) *url.URL {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return &url.URL{}
+	}
+	return u
+}
+
+// result assembles the shared part of a Result.
+func (e *engine) result(name string, steps int) *Result {
+	return &Result{
+		Crawler:        name,
+		Trace:          e.trace,
+		Targets:        e.targets,
+		Requests:       e.meter.Requests,
+		HeadRequests:   e.meter.HeadRequests,
+		TargetBytes:    e.targetBytes,
+		NonTargetBytes: e.nonTargetBytes,
+		Steps:          steps,
+	}
+}

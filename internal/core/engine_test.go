@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sbcrawl/internal/fetch"
+)
+
+// scriptedFetcher serves canned responses for engine edge-case tests.
+type scriptedFetcher struct {
+	responses map[string]fetch.Response
+	errs      map[string]error
+	gets      []string
+}
+
+func (f *scriptedFetcher) Get(url string) (fetch.Response, error) {
+	f.gets = append(f.gets, url)
+	if err, ok := f.errs[url]; ok {
+		return fetch.Response{}, err
+	}
+	if r, ok := f.responses[url]; ok {
+		return r, nil
+	}
+	return fetch.Response{URL: url, Status: 404}, nil
+}
+
+func (f *scriptedFetcher) Head(url string) (fetch.Response, error) {
+	r, err := f.Get(url)
+	r.Body = nil
+	return r, err
+}
+
+func htmlResp(url, body string) fetch.Response {
+	return fetch.Response{
+		URL: url, Status: 200, MIME: "text/html; charset=utf-8",
+		Body: []byte(body), ContentLength: len(body),
+	}
+}
+
+func newScriptedEngine(t *testing.T, f *scriptedFetcher) *engine {
+	t.Helper()
+	eng, err := newEngine(&Env{Root: "https://site.org/", Fetcher: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestFetchPageFollowsRedirectChain(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/a": {URL: "https://site.org/a", Status: 301, Location: "/b"},
+		"https://site.org/b": {URL: "https://site.org/b", Status: 302, Location: "/c"},
+		"https://site.org/c": htmlResp("https://site.org/c", `<a href="/d">x</a>`),
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/a")
+	if !pg.IsHTML || pg.FinalURL != "https://site.org/c" {
+		t.Fatalf("chain result: %+v", pg)
+	}
+	if len(f.gets) != 3 {
+		t.Errorf("each redirect hop must be charged: %d GETs", len(f.gets))
+	}
+	if len(pg.Links) != 1 || pg.Links[0].URL != "https://site.org/d" {
+		t.Errorf("links = %+v", pg.Links)
+	}
+}
+
+func TestFetchPageBreaksRedirectLoops(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/a": {URL: "https://site.org/a", Status: 301, Location: "/b"},
+		"https://site.org/b": {URL: "https://site.org/b", Status: 301, Location: "/a"},
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/a")
+	if pg.IsHTML || pg.IsTarget {
+		t.Errorf("loop must resolve to nothing: %+v", pg)
+	}
+	if len(f.gets) > 3 {
+		t.Errorf("loop burned %d requests; the seen-set must cut it", len(f.gets))
+	}
+}
+
+func TestFetchPageDropsOutOfScopeRedirect(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/a": {URL: "https://site.org/a", Status: 301, Location: "https://elsewhere.com/x"},
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/a")
+	if len(f.gets) != 1 {
+		t.Errorf("out-of-scope redirect must not be followed: %d GETs", len(f.gets))
+	}
+	if pg.Status != 301 {
+		t.Errorf("status = %d", pg.Status)
+	}
+}
+
+func TestFetchPageNetworkErrorBecomes5xx(t *testing.T) {
+	f := &scriptedFetcher{errs: map[string]error{
+		"https://site.org/a": errors.New("connection reset"),
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/a")
+	if pg.Status != 599 || pg.IsHTML || pg.IsTarget {
+		t.Errorf("network failure result: %+v", pg)
+	}
+	if eng.meter.Requests != 1 {
+		t.Error("the failed attempt must still be charged")
+	}
+}
+
+func TestFetchPageCountsTarget(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/f.csv": {
+			URL: "https://site.org/f.csv", Status: 200, MIME: "text/csv",
+			Body: []byte("a,b\n1,2\n"), ContentLength: 8,
+		},
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/f.csv")
+	if !pg.IsTarget {
+		t.Fatalf("CSV must be a target: %+v", pg)
+	}
+	if eng.tcount != 1 || len(eng.targets) != 1 {
+		t.Errorf("target accounting: tcount=%d targets=%v", eng.tcount, eng.targets)
+	}
+	// The trace point must carry the updated target count.
+	if got := eng.trace.Targets[eng.trace.Len()-1]; got != 1 {
+		t.Errorf("trace shows %d targets at the fetching request", got)
+	}
+}
+
+func TestFetchPageInterruptedDownload(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/v.bin": {
+			URL: "https://site.org/v.bin", Status: 200, MIME: "video/mp4",
+			Interrupted: true,
+		},
+	}}
+	eng := newScriptedEngine(t, f)
+	pg := eng.fetchPage("https://site.org/v.bin")
+	if pg.IsHTML || pg.IsTarget {
+		t.Errorf("interrupted download must yield nothing: %+v", pg)
+	}
+}
+
+func TestExtractNewLinksFilters(t *testing.T) {
+	f := &scriptedFetcher{}
+	eng := newScriptedEngine(t, f)
+	eng.seen["https://site.org/dup"] = true
+	body := strings.Join([]string{
+		`<a href="/fresh.html">in</a>`,
+		`<a href="/dup">seen</a>`,
+		`<a href="https://other.org/out">external</a>`,
+		`<a href="/photo.jpg">media</a>`,
+		`<a href="/fresh.html">same-page duplicate</a>`,
+		`<a href="mailto:x@y.z">mail</a>`,
+	}, "\n")
+	links := eng.extractNewLinks("https://site.org/page", []byte(body))
+	if len(links) != 1 || links[0].URL != "https://site.org/fresh.html" {
+		t.Errorf("filtered links = %+v", links)
+	}
+}
+
+func TestBudgetTruncationStopsFetching(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/": htmlResp("https://site.org/", ""),
+	}}
+	env := &Env{Root: "https://site.org/", Fetcher: f, MaxRequests: 1}
+	eng, err := newEngine(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg := eng.fetchPage("https://site.org/"); pg.Truncated {
+		t.Fatal("first request is within budget")
+	}
+	if pg := eng.fetchPage("https://site.org/x"); !pg.Truncated {
+		t.Fatal("second request must be refused")
+	}
+	if len(f.gets) != 1 {
+		t.Errorf("fetcher saw %d requests, budget was 1", len(f.gets))
+	}
+}
+
+func TestTraceVolumeSplit(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/p": htmlResp("https://site.org/p", strings.Repeat("x", 1000)),
+		"https://site.org/t.csv": {
+			URL: "https://site.org/t.csv", Status: 200, MIME: "text/csv",
+			Body: []byte(strings.Repeat("y", 500)),
+		},
+	}}
+	eng := newScriptedEngine(t, f)
+	eng.fetchPage("https://site.org/p")
+	eng.fetchPage("https://site.org/t.csv")
+	if eng.nonTargetBytes < 1000 {
+		t.Errorf("non-target bytes %d must include the HTML page", eng.nonTargetBytes)
+	}
+	if eng.targetBytes < 500 {
+		t.Errorf("target bytes %d must include the CSV", eng.targetBytes)
+	}
+	if eng.targetBytes > eng.nonTargetBytes {
+		t.Error("1000B page vs 500B file: split looks inverted")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sbcrawl/internal/frontier"
+	"sbcrawl/internal/learn"
+	"sbcrawl/internal/textvec"
+	"sbcrawl/internal/urlutil"
+)
+
+// focused is the FOCUSED baseline of Section 4.3: an early-generation
+// focused crawler (Chakrabarti et al. / Diligenti et al. style) that keeps
+// the frontier in a priority queue ordered by a logistic-regression estimate
+// of the probability that a hyperlink leads to a target. Its features are
+// the standard ones the paper lists: approximate source-page depth, a char
+// 2-gram BoW of the URL, and a 2-gram BoW of the anchor text. Topic features
+// are deliberately absent. It is an ablation of SB-CLASSIFIER: no tag-path
+// structure, no reinforcement learning.
+type focused struct {
+	retrainEvery int
+}
+
+// NewFocused returns the FOCUSED baseline; retrainEvery controls how often
+// the link scorer is refit and the frontier rescored (no HTTP cost).
+func NewFocused(retrainEvery int) Crawler {
+	if retrainEvery <= 0 {
+		retrainEvery = 50
+	}
+	return &focused{retrainEvery: retrainEvery}
+}
+
+// Name implements Crawler.
+func (f *focused) Name() string { return "FOCUSED" }
+
+// depthFeatureID is a reserved feature slot holding the source page depth.
+const depthFeatureID = 4 * textvec.CharBigramDim
+
+func focusedFeatures(linkURL, anchor string, sourceDepth int) textvec.Sparse {
+	x := textvec.CharBigrams(linkURL)
+	x.Add(textvec.CharBigrams(anchor), textvec.CharBigramDim)
+	x[depthFeatureID] = float64(sourceDepth)
+	return x
+}
+
+// Run implements Crawler.
+func (f *focused) Run(env *Env) (*Result, error) {
+	eng, err := newEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	model := learn.NewLogisticRegression()
+	var pq frontier.Priority
+	feats := make(map[string]textvec.Sparse) // frontier URL → link features
+	var batch []learn.Example
+	trained := false
+
+	score := func(x textvec.Sparse) float64 {
+		if !trained {
+			return 0
+		}
+		return model.Score(x)
+	}
+
+	eng.seen[env.Root] = true
+	pq.Push(env.Root, 0)
+	feats[env.Root] = focusedFeatures(env.Root, "", 0)
+	steps := 0
+	for pq.Len() > 0 && eng.budgetLeft() {
+		u, _, ok := pq.Pop()
+		if !ok {
+			break
+		}
+		steps++
+		x := feats[u]
+		delete(feats, u)
+		pg := eng.fetchPage(u)
+		if pg.Truncated {
+			break
+		}
+		// Label the traversed link by its outcome and learn from it.
+		label := learn.ClassHTML
+		if pg.IsTarget {
+			label = learn.ClassTarget
+		}
+		if x != nil {
+			batch = append(batch, learn.Example{X: x, Y: label})
+		}
+		if len(batch) >= f.retrainEvery {
+			model.PartialFit(batch)
+			batch = batch[:0]
+			trained = true
+			pq.Rescore(func(url string) float64 { return score(feats[url]) })
+		}
+		depth := urlutil.Depth(pg.FinalURL)
+		for _, link := range pg.Links {
+			lx := focusedFeatures(link.URL, link.AnchorText, depth)
+			eng.seen[link.URL] = true
+			feats[link.URL] = lx
+			pq.Push(link.URL, score(lx))
+		}
+	}
+	return eng.result(f.Name(), steps), nil
+}

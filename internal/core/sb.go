@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sbcrawl/internal/bandit"
+	"sbcrawl/internal/classify"
+	"sbcrawl/internal/dom"
+	"sbcrawl/internal/frontier"
+	"sbcrawl/internal/learn"
+	"sbcrawl/internal/urlutil"
+)
+
+// SBConfig parameterizes the sleeping-bandit crawler (Sections 3.1–3.4).
+// The zero value gives the paper's defaults: n=2, m=12, w=15, θ=0.75,
+// α=2√2, b=10, logistic regression over URL_ONLY features.
+type SBConfig struct {
+	// Index holds the action-formation hyper-parameters (n, m, w, θ).
+	Index ActionIndexConfig
+	// Alpha is the exploration–exploitation coefficient (0 → 2√2).
+	Alpha float64
+	// Policy overrides the bandit policy (nil → AUER sleeping bandit);
+	// used by the policy ablation.
+	Policy bandit.Policy
+	// Oracle switches to the perfect URL classifier (SB-ORACLE); requires
+	// Env.OracleClass.
+	Oracle bool
+	// Model selects the classifier family ("LR", "SVM", "NB", "PA");
+	// empty → "LR".
+	Model string
+	// Features selects URL_ONLY or URL_CONT.
+	Features classify.FeatureSet
+	// BatchSize is the classifier batch b (0 → 10).
+	BatchSize int
+	// EarlyStop enables the Section 4.8 mechanism when non-nil.
+	EarlyStop *EarlyStopConfig
+	// RawReward switches the reward to the raw count of target links,
+	// including already-known ones (reward-definition ablation).
+	RawReward bool
+	// Seed drives link selection and index construction.
+	Seed int64
+}
+
+// SB is the paper's crawler: SB-CLASSIFIER, or SB-ORACLE when cfg.Oracle.
+type SB struct {
+	cfg SBConfig
+}
+
+// NewSB builds the crawler.
+func NewSB(cfg SBConfig) *SB { return &SB{cfg: cfg} }
+
+// Name implements Crawler.
+func (s *SB) Name() string {
+	if s.cfg.Oracle {
+		return "SB-ORACLE"
+	}
+	return "SB-CLASSIFIER"
+}
+
+// sbRun is the mutable state of one SB crawl.
+type sbRun struct {
+	cfg     SBConfig
+	eng     *engine
+	front   *frontier.Grouped
+	actions *ActionIndex
+	policy  bandit.Policy
+	cls     classify.Classifier
+	stopper *earlyStopper
+	steps   int
+	stopped bool
+}
+
+// Run implements Crawler (Algorithm 3).
+func (s *SB) Run(env *Env) (*Result, error) {
+	eng, err := newEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	idxCfg := cfg.Index
+	idxCfg.Seed = cfg.Seed
+	r := &sbRun{
+		cfg:     cfg,
+		eng:     eng,
+		front:   frontier.NewGrouped(cfg.Seed + 2),
+		actions: NewActionIndex(idxCfg),
+	}
+	if cfg.Policy != nil {
+		r.policy = cfg.Policy
+	} else if cfg.Alpha > 0 {
+		r.policy = bandit.NewSleepingAlpha(cfg.Alpha)
+	} else {
+		r.policy = bandit.NewSleeping()
+	}
+	r.cls = s.buildClassifier(env, r)
+	if cfg.EarlyStop != nil {
+		r.stopper = newEarlyStopper(*cfg.EarlyStop)
+	}
+
+	// Crawl the root, then loop: select action, pop a link, crawl it.
+	r.step(env.Root, -1, 0)
+	for r.front.Len() > 0 && eng.budgetLeft() && !r.stopped {
+		awake := r.front.Awake()
+		a, ok := r.policy.Select(awake, r.steps)
+		if !ok {
+			break
+		}
+		u, ok := r.front.PopFrom(a)
+		if !ok {
+			continue
+		}
+		r.policy.RecordSelection(a)
+		r.step(u, a, 0)
+		if r.stopper != nil && r.stopper.Observe(r.steps, eng.tcount) {
+			r.stopped = true
+		}
+	}
+
+	res := eng.result(s.Name(), r.steps)
+	res.EarlyStopped = r.stopped
+	res.Actions = r.actionStats()
+	if online, ok := r.cls.(*classify.Online); ok {
+		res.Confusion = online.Confusion()
+	}
+	return res, nil
+}
+
+func (s *SB) buildClassifier(env *Env, r *sbRun) classify.Classifier {
+	if s.cfg.Oracle {
+		return &classify.Oracle{Truth: env.OracleClass}
+	}
+	model := s.cfg.Model
+	if model == "" {
+		model = "LR"
+	}
+	return classify.NewOnline(classify.Config{
+		Model:     learn.NewModel(model),
+		BatchSize: s.cfg.BatchSize,
+		Features:  s.cfg.Features,
+		Head: func(u string) int {
+			resp, ok := r.eng.head(u)
+			if !ok {
+				return classify.ClassNeither
+			}
+			switch {
+			case resp.Status >= 200 && resp.Status < 300 && urlutil.IsHTML(resp.MIME):
+				return classify.ClassHTML
+			case resp.Status >= 200 && resp.Status < 300 && r.eng.mimes.Contains(resp.MIME):
+				return classify.ClassTarget
+			default:
+				return classify.ClassNeither
+			}
+		},
+	})
+}
+
+// step is Algorithm 4: crawl one URL, classify its new links, push HTML
+// links to the action frontier, immediately retrieve predicted targets, and
+// fold the reward into the chosen action's running mean.
+func (r *sbRun) step(u string, action int, depth int) {
+	const maxPredictedTargetDepth = 16
+	r.steps++
+	pg := r.eng.fetchPage(u)
+	if pg.Truncated {
+		return
+	}
+	reward := 0
+	switch {
+	case pg.IsHTML:
+		r.cls.Observe(pg.FinalURL, classify.ClassHTML)
+		for _, link := range pg.Links {
+			class, _ := r.cls.Classify(linkContext(link))
+			if class == classify.ClassTarget && depth < maxPredictedTargetDepth {
+				before := r.eng.tcount
+				r.step(link.URL, action, depth+1)
+				if r.cfg.RawReward {
+					reward++ // raw: every predicted-target link counts
+				} else if r.eng.tcount > before {
+					reward++ // novelty: only links that yielded a new target
+				}
+				continue
+			}
+			a := r.actions.ActionFor(link.TagPath)
+			r.policy.EnsureArm(a)
+			r.eng.seen[link.URL] = true // joins F (T ∪ F membership)
+			r.front.Push(a, link.URL)
+		}
+	case pg.IsTarget:
+		r.cls.Observe(pg.FinalURL, classify.ClassTarget)
+	default:
+		r.cls.Observe(pg.FinalURL, classify.ClassNeither)
+	}
+	if action >= 0 && pg.IsHTML {
+		r.policy.RecordReward(action, float64(reward))
+	}
+}
+
+func linkContext(l dom.Link) classify.LinkContext {
+	return classify.LinkContext{
+		URL:             l.URL,
+		AnchorText:      l.AnchorText,
+		TagPath:         l.TagPath.String(),
+		SurroundingText: l.SurroundingText,
+	}
+}
+
+// actionStats snapshots the per-action statistics for Figure 5 / Table 6.
+func (r *sbRun) actionStats() []ActionStat {
+	n := r.actions.NumActions()
+	out := make([]ActionStat, 0, n)
+	for a := 0; a < n; a++ {
+		out = append(out, ActionStat{
+			ID:         a,
+			MeanReward: r.policy.MeanReward(a),
+			Selections: r.policy.Count(a),
+			Paths:      r.actions.PathCount(a),
+		})
+	}
+	return out
+}

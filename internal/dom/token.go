@@ -1,0 +1,383 @@
+// Package dom implements a small, dependency-free HTML parser sufficient for
+// focused crawling: it tokenizes real-world HTML, builds a DOM tree, and
+// extracts hyperlinks together with their root-to-link tag paths (Sec. 2.2 of
+// the paper), anchor text, and surrounding text. It is deliberately lenient —
+// malformed markup degrades gracefully rather than failing, as a crawler must
+// never die on a bad page.
+package dom
+
+import "strings"
+
+// TokenType discriminates the kinds of tokens produced by the Tokenizer.
+type TokenType int
+
+// Token kinds.
+const (
+	TextToken TokenType = iota
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// Attr is a single name="value" HTML attribute. Names are lowercased.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lowercased) or text/comment content
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// rawTextElements contains elements whose content is raw text up to the
+// matching end tag (no nested markup is recognized inside them).
+var rawTextElements = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+}
+
+// Tokenizer scans an HTML byte stream into Tokens. The zero value is not
+// usable; construct with NewTokenizer.
+type Tokenizer struct {
+	src []byte
+	pos int
+	// pending raw-text element name: after emitting <script>, the tokenizer
+	// must treat everything up to </script> as text.
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer over src. The slice is not copied; the
+// caller must not mutate it during tokenization.
+func NewTokenizer(src []byte) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token and true, or a zero Token and false at EOF.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawTag != "" {
+		return z.nextRawText(), true
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.nextTag(); ok {
+			return tok, true
+		}
+		// A lone '<' that does not begin a tag is literal text.
+		start := z.pos
+		z.pos++
+		z.consumeTextUntilLT()
+		return Token{Type: TextToken, Data: string(z.src[start:z.pos])}, true
+	}
+	start := z.pos
+	z.consumeTextUntilLT()
+	return Token{Type: TextToken, Data: decodeEntities(string(z.src[start:z.pos]))}, true
+}
+
+func (z *Tokenizer) consumeTextUntilLT() {
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+}
+
+// rcdataElements are raw-text elements whose content still decodes character
+// references (per the HTML RCDATA rules); script and style do not.
+var rcdataElements = map[string]bool{"title": true, "textarea": true}
+
+// nextRawText consumes text up to the closing tag of the pending raw-text
+// element and emits it as a single TextToken; the subsequent Next call then
+// sees the end tag normally.
+func (z *Tokenizer) nextRawText() Token {
+	closer := "</" + z.rawTag
+	lower := strings.ToLower(string(z.src[z.pos:]))
+	idx := strings.Index(lower, closer)
+	data := ""
+	if idx < 0 {
+		// Unterminated raw text: consume to EOF.
+		data = string(z.src[z.pos:])
+		z.pos = len(z.src)
+	} else {
+		data = string(z.src[z.pos : z.pos+idx])
+		z.pos += idx
+	}
+	if rcdataElements[z.rawTag] {
+		data = decodeEntities(data)
+	}
+	z.rawTag = ""
+	return Token{Type: TextToken, Data: data}
+}
+
+// nextTag attempts to parse a tag construct at z.pos (which points at '<').
+// It reports false when the '<' does not open any recognizable construct.
+func (z *Tokenizer) nextTag() (Token, bool) {
+	src := z.src
+	i := z.pos + 1
+	if i >= len(src) {
+		return Token{}, false
+	}
+	switch {
+	case src[i] == '!':
+		return z.nextBangTag(), true
+	case src[i] == '?':
+		// Processing instruction (e.g. <?xml ...?>): skip to '>'.
+		j := indexByteFrom(src, '>', i)
+		if j < 0 {
+			z.pos = len(src)
+		} else {
+			z.pos = j + 1
+		}
+		return Token{Type: CommentToken, Data: ""}, true
+	case src[i] == '/':
+		return z.nextEndTag()
+	case isAlpha(src[i]):
+		return z.nextStartTag(), true
+	}
+	return Token{}, false
+}
+
+func (z *Tokenizer) nextBangTag() Token {
+	src := z.src
+	i := z.pos
+	if hasPrefixAt(src, i, "<!--") {
+		end := strings.Index(string(src[i+4:]), "-->")
+		if end < 0 {
+			tok := Token{Type: CommentToken, Data: string(src[i+4:])}
+			z.pos = len(src)
+			return tok
+		}
+		tok := Token{Type: CommentToken, Data: string(src[i+4 : i+4+end])}
+		z.pos = i + 4 + end + 3
+		return tok
+	}
+	// <!DOCTYPE ...> or other declarations: skip to '>'.
+	j := indexByteFrom(src, '>', i)
+	if j < 0 {
+		z.pos = len(src)
+		return Token{Type: DoctypeToken}
+	}
+	z.pos = j + 1
+	return Token{Type: DoctypeToken, Data: strings.TrimSpace(string(src[i+2 : j]))}
+}
+
+func (z *Tokenizer) nextEndTag() (Token, bool) {
+	src := z.src
+	i := z.pos + 2
+	start := i
+	for i < len(src) && isNameByte(src[i]) {
+		i++
+	}
+	if i == start {
+		return Token{}, false
+	}
+	name := strings.ToLower(string(src[start:i]))
+	j := indexByteFrom(src, '>', i)
+	if j < 0 {
+		z.pos = len(src)
+	} else {
+		z.pos = j + 1
+	}
+	return Token{Type: EndTagToken, Data: name}, true
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	src := z.src
+	i := z.pos + 1
+	start := i
+	for i < len(src) && isNameByte(src[i]) {
+		i++
+	}
+	name := strings.ToLower(string(src[start:i]))
+	tok := Token{Type: StartTagToken, Data: name}
+	// Attributes.
+	for {
+		for i < len(src) && isSpace(src[i]) {
+			i++
+		}
+		if i >= len(src) {
+			break
+		}
+		if src[i] == '>' {
+			i++
+			break
+		}
+		if src[i] == '/' {
+			// Possible self-closing.
+			if i+1 < len(src) && src[i+1] == '>' {
+				tok.Type = SelfClosingTagToken
+				i += 2
+				break
+			}
+			i++
+			continue
+		}
+		// Attribute name.
+		aStart := i
+		for i < len(src) && !isSpace(src[i]) && src[i] != '=' && src[i] != '>' && src[i] != '/' {
+			i++
+		}
+		if i == aStart {
+			i++ // stray byte; skip it
+			continue
+		}
+		attr := Attr{Name: strings.ToLower(string(src[aStart:i]))}
+		for i < len(src) && isSpace(src[i]) {
+			i++
+		}
+		if i < len(src) && src[i] == '=' {
+			i++
+			for i < len(src) && isSpace(src[i]) {
+				i++
+			}
+			if i < len(src) && (src[i] == '"' || src[i] == '\'') {
+				quote := src[i]
+				i++
+				vStart := i
+				for i < len(src) && src[i] != quote {
+					i++
+				}
+				attr.Value = decodeEntities(string(src[vStart:i]))
+				if i < len(src) {
+					i++ // closing quote
+				}
+			} else {
+				vStart := i
+				for i < len(src) && !isSpace(src[i]) && src[i] != '>' {
+					i++
+				}
+				attr.Value = decodeEntities(string(src[vStart:i]))
+			}
+		}
+		tok.Attrs = append(tok.Attrs, attr)
+	}
+	z.pos = i
+	if tok.Type == StartTagToken && rawTextElements[name] {
+		z.rawTag = name
+	}
+	return tok
+}
+
+func isAlpha(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' }
+
+func isNameByte(b byte) bool {
+	return isAlpha(b) || b >= '0' && b <= '9' || b == '-' || b == '_' || b == ':'
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+func hasPrefixAt(src []byte, i int, prefix string) bool {
+	if i+len(prefix) > len(src) {
+		return false
+	}
+	for j := 0; j < len(prefix); j++ {
+		b := src[i+j]
+		p := prefix[j]
+		if b != p && b|0x20 != p|0x20 {
+			return false
+		}
+	}
+	return true
+}
+
+func indexByteFrom(src []byte, c byte, from int) int {
+	for i := from; i < len(src); i++ {
+		if src[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// entityTable covers the named character references a crawler actually meets;
+// anything unrecognized is left verbatim (lenient by design).
+var entityTable = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "copy": "©", "reg": "®", "mdash": "—",
+	"ndash": "–", "hellip": "…", "laquo": "«", "raquo": "»",
+	"eacute": "é", "egrave": "è", "agrave": "à", "ccedil": "ç",
+}
+
+// decodeEntities resolves named and numeric character references in s.
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 12 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if strings.HasPrefix(name, "#") {
+			if r, ok := parseNumericRef(name[1:]); ok {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		} else if rep, ok := entityTable[name]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+func parseNumericRef(digits string) (rune, bool) {
+	if digits == "" {
+		return 0, false
+	}
+	base := 10
+	if digits[0] == 'x' || digits[0] == 'X' {
+		base = 16
+		digits = digits[1:]
+	}
+	var n int64
+	for i := 0; i < len(digits); i++ {
+		d := digits[i]
+		var v int64
+		switch {
+		case d >= '0' && d <= '9':
+			v = int64(d - '0')
+		case base == 16 && d >= 'a' && d <= 'f':
+			v = int64(d-'a') + 10
+		case base == 16 && d >= 'A' && d <= 'F':
+			v = int64(d-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*int64(base) + v
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return rune(n), true
+}

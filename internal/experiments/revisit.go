@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbcrawl/internal/revisit"
+	"sbcrawl/internal/sitegen"
+)
+
+// RunRevisit evaluates the incremental-revisit extension (the future work of
+// Sec. 6): after an initial crawl, hub pages keep gaining targets; with a
+// fixed per-epoch revisit budget, four policies compete on recall of the
+// newly published files.
+func RunRevisit(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, []string{"is", "nc", "wo"})
+	const (
+		epochs = 150
+		budget = 3
+	)
+	fmt.Fprintf(cfg.Out, "Extension — incremental revisit recall after %d epochs, %d revisits/epoch\n",
+		epochs, budget)
+	fmt.Fprintf(cfg.Out, "%-4s %8s %12s %14s %10s %17s\n",
+		"site", "hubs", "round-robin", "proportional", "thompson", "sleeping-bandit")
+	for _, code := range sites {
+		profile, ok := sitegen.ProfileByCode(code)
+		if !ok {
+			return fmt.Errorf("unknown site %q", code)
+		}
+		site := sitegen.Generate(sitegen.Config{
+			Profile: profile, Scale: cfg.Scale, Seed: cfg.Seed, MaxPages: cfg.MaxPages,
+		})
+		build := func() *revisit.Simulation {
+			return revisit.NewSimulationFromSite(site, cfg.Seed+7)
+		}
+		sim := build()
+		if sim.Pages() == 0 {
+			continue
+		}
+		rr := revisit.Run(build(), &revisit.RoundRobin{}, epochs, budget)
+		prop := revisit.Run(build(), &revisit.Proportional{}, epochs, budget)
+		th := revisit.Run(build(), revisit.NewThompson(cfg.Seed), epochs, budget)
+		sb := revisit.Run(build(), revisit.NewSleepingBandit(), epochs, budget)
+		fmt.Fprintf(cfg.Out, "%-4s %8d %12.3f %14.3f %10.3f %17.3f\n",
+			code, sim.Pages(), rr, prop, th, sb)
+	}
+	return nil
+}

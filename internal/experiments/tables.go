@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbcrawl/internal/classify"
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/metrics"
+	"sbcrawl/internal/sitegen"
+)
+
+// RunTable1 regenerates Table 1: the main characteristics of the 18 sites,
+// measured on the generated sites by exhaustive graph walk.
+func RunTable1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Table 1 — website characteristics (scale %.4g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-4s %-5s %-5s %9s %9s %10s %14s %14s\n",
+		"site", "Mlg.", "F.C.", "#Avail", "#Target", "HTMLtoT(%)", "TgtSize(KB)", "TgtDepth")
+	for _, code := range sitesOrDefault(cfg, allCodes()) {
+		p, ok := sitegen.ProfileByCode(code)
+		if !ok {
+			return fmt.Errorf("unknown site %q", code)
+		}
+		site := sitegen.Generate(sitegen.Config{
+			Profile: p, Scale: cfg.Scale, Seed: cfg.Seed, MaxPages: cfg.MaxPages,
+		})
+		st := site.ComputeStats()
+		fmt.Fprintf(cfg.Out, "%-4s %-5s %-5s %9d %9d %10.2f %7.1f(±%.1f) %7.2f(±%.2f)\n",
+			code, checkmark(p.Multilingual), checkmark(p.FullyCrawled),
+			st.Available, st.Targets, st.HTMLToTargetPct,
+			st.TargetSizeMean/1024, st.TargetSizeStd/1024,
+			st.TargetDepthMean, st.TargetDepthStd)
+	}
+	return nil
+}
+
+func checkmark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// RunTable2 regenerates Table 2: for every crawler and site, the percentage
+// of requests needed to retrieve 90% of the targets (lower is better), plus
+// the early-stopping rows below the double rule.
+func RunTable2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	return runMetricTable(cfg, "Table 2 — %% of requests to retrieve 90%% of targets",
+		func(c *matrixCell) float64 { return c.RequestPct }, true)
+}
+
+// RunTable3 regenerates Table 3: the fraction of non-target volume retrieved
+// before reaching 90% of the total target volume.
+func RunTable3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	return runMetricTable(cfg, "Table 3 — %% of non-target volume before 90%% of target volume",
+		func(c *matrixCell) float64 { return c.VolumePct }, false)
+}
+
+func runMetricTable(cfg Config, title string, metric func(*matrixCell) float64, earlyStop bool) error {
+	sites := sitesOrDefault(cfg, allCodes())
+	rows := make(map[string]map[string]float64) // crawler → site → value
+	saved := map[string]float64{}
+	lost := map[string]float64{}
+	for _, code := range sites {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return err
+		}
+		cells, err := runMatrix(cfg, se)
+		if err != nil {
+			return err
+		}
+		for name, cell := range cells {
+			if rows[name] == nil {
+				rows[name] = map[string]float64{}
+			}
+			rows[name][code] = metric(cell)
+		}
+		if earlyStop {
+			s, l, err := earlyStopNumbers(cfg, se, cells["SB-CLASSIFIER"])
+			if err != nil {
+				return err
+			}
+			saved[code], lost[code] = s, l
+		}
+	}
+
+	fmt.Fprintf(cfg.Out, title+" (scale %.4g, %d run(s))\n", cfg.Scale, cfg.Runs)
+	fmt.Fprintf(cfg.Out, "%-14s", "Crawler")
+	for _, code := range sites {
+		fmt.Fprintf(cfg.Out, " %6s", code)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, name := range CrawlerOrder {
+		row, ok := rows[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(cfg.Out, "%-14s", name)
+		for _, code := range sites {
+			if v, ok := row[code]; ok {
+				fmt.Fprintf(cfg.Out, " %6s", fmtPct(v))
+			} else {
+				fmt.Fprintf(cfg.Out, " %6s", "NA")
+			}
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	if earlyStop {
+		fmt.Fprintln(cfg.Out, "---- early stopping (SB-CLASSIFIER) ----")
+		fmt.Fprintf(cfg.Out, "%-14s", "Saved req.")
+		for _, code := range sites {
+			fmt.Fprintf(cfg.Out, " %6.1f", saved[code])
+		}
+		fmt.Fprintln(cfg.Out)
+		fmt.Fprintf(cfg.Out, "%-14s", "Lost targets")
+		for _, code := range sites {
+			fmt.Fprintf(cfg.Out, " %6.1f", lost[code])
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// earlyStopNumbers runs SB-CLASSIFIER with the scaled Section 4.8 stopper
+// and compares it against the full run already in the matrix.
+func earlyStopNumbers(cfg Config, se *siteEnv, full *matrixCell) (saved, lost float64, err error) {
+	if full == nil {
+		return 0, 0, fmt.Errorf("missing SB-CLASSIFIER reference on %s", se.code)
+	}
+	es := core.ScaledEarlyStop(se.stats.Available)
+	res, err := core.NewSB(core.SBConfig{Seed: cfg.Seed, EarlyStop: &es}).Run(se.env)
+	if err != nil {
+		return 0, 0, err
+	}
+	out := metrics.CompareEarlyStop(res, full.Result)
+	if !out.Fired {
+		return 0, 0, nil // behaviour (ii)/(iii): never met before crawl end
+	}
+	return out.SavedRequestsPct, out.LostTargetsPct, nil
+}
+
+// RunEarlyStop regenerates the lower rows of Table 2 on their own.
+func RunEarlyStop(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, allCodes())
+	fmt.Fprintf(cfg.Out, "Early stopping (ν·κ scaled; scale %.4g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-4s %10s %10s %8s\n", "site", "saved(%)", "lost(%)", "fired")
+	for _, code := range sites {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return err
+		}
+		full, err := core.NewSB(core.SBConfig{Seed: cfg.Seed}).Run(se.env)
+		if err != nil {
+			return err
+		}
+		es := core.ScaledEarlyStop(se.stats.Available)
+		stopped, err := core.NewSB(core.SBConfig{Seed: cfg.Seed, EarlyStop: &es}).Run(se.env)
+		if err != nil {
+			return err
+		}
+		out := metrics.CompareEarlyStop(stopped, full)
+		fmt.Fprintf(cfg.Out, "%-4s %10.1f %10.1f %8v\n",
+			code, out.SavedRequestsPct, out.LostTargetsPct, out.Fired)
+	}
+	return nil
+}
+
+// table4Variant runs SB-ORACLE over the fully crawled sites for each value
+// of one hyper-parameter and prints the "req | vol" cells of Table 4.
+func table4Variant(cfg Config, title string, labels []string,
+	build func(i int, seed int64) *core.SB) error {
+	sites := sitesOrDefault(cfg, sitegen.FullyCrawledCodes())
+	type cell struct{ req, vol []float64 }
+	table := make([]map[string]*cell, len(labels))
+	for i := range table {
+		table[i] = map[string]*cell{}
+	}
+	for _, code := range sites {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return err
+		}
+		for i := range labels {
+			c := &cell{}
+			for run := 0; run < cfg.Runs; run++ {
+				res, err := build(i, cfg.Seed+int64(run)*101).Run(se.env)
+				if err != nil {
+					return err
+				}
+				c.req = append(c.req, metrics.RequestPct90(res.Trace, se.totals))
+				c.vol = append(c.vol, metrics.VolumePct90(res.Trace, se.totals))
+			}
+			table[i][code] = c
+		}
+	}
+	fmt.Fprintf(cfg.Out, "%s (SB-ORACLE, fully-crawled sites; req%% | vol%%)\n", title)
+	fmt.Fprintf(cfg.Out, "%-12s", "Variant")
+	for _, code := range sites {
+		fmt.Fprintf(cfg.Out, " %13s", code)
+	}
+	fmt.Fprintln(cfg.Out)
+	for i, label := range labels {
+		fmt.Fprintf(cfg.Out, "%-12s", label)
+		for _, code := range sites {
+			c := table[i][code]
+			fmt.Fprintf(cfg.Out, " %6s|%6s", fmtPct(metrics.Mean(c.req)), fmtPct(metrics.Mean(c.vol)))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// RunTable4Alpha sweeps α ∈ {0.1, 2√2, 30} (Table 4 top, Figures 8–9).
+func RunTable4Alpha(cfg Config) error {
+	cfg = cfg.withDefaults()
+	alphas := []float64{0.1, 2.8284271247461903, 30}
+	labels := []string{"a=0.1", "a=2sqrt2", "a=30"}
+	return table4Variant(cfg, "Table 4 (top) — exploration coefficient α", labels,
+		func(i int, seed int64) *core.SB {
+			return core.NewSB(core.SBConfig{Oracle: true, Alpha: alphas[i], Seed: seed})
+		})
+}
+
+// RunTable4Ngram sweeps n ∈ {1, 2, 3} (Table 4 middle, Figures 10–11).
+func RunTable4Ngram(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ns := []int{1, 2, 3}
+	labels := []string{"n=1", "n=2", "n=3"}
+	return table4Variant(cfg, "Table 4 (middle) — n-gram order", labels,
+		func(i int, seed int64) *core.SB {
+			return core.NewSB(core.SBConfig{
+				Oracle: true, Seed: seed,
+				Index: core.ActionIndexConfig{N: ns[i]},
+			})
+		})
+}
+
+// RunTable4Theta sweeps θ ∈ {0.55, 0.75, 0.95} (Table 4 bottom, Figs 12–13).
+func RunTable4Theta(cfg Config) error {
+	cfg = cfg.withDefaults()
+	thetas := []float64{0.55, 0.75, 0.95}
+	labels := []string{"th=0.55", "th=0.75", "th=0.95"}
+	return table4Variant(cfg, "Table 4 (bottom) — similarity threshold θ", labels,
+		func(i int, seed int64) *core.SB {
+			return core.NewSB(core.SBConfig{
+				Oracle: true, Seed: seed,
+				Index: core.ActionIndexConfig{Theta: thetas[i]},
+			})
+		})
+}
+
+// classifierVariants are the eight URL-classifier configurations of Table 5.
+func classifierVariants() []struct {
+	Label    string
+	Model    string
+	Features int
+} {
+	out := []struct {
+		Label    string
+		Model    string
+		Features int
+	}{}
+	for _, feat := range []int{0, 1} {
+		name := "URL_ONLY"
+		if feat == 1 {
+			name = "URL_CONT"
+		}
+		for _, model := range []string{"LR", "SVM", "NB", "PA"} {
+			out = append(out, struct {
+				Label    string
+				Model    string
+				Features int
+			}{name + "-" + model, model, feat})
+		}
+	}
+	return out
+}
+
+// RunTable5 regenerates Table 5: the intra-site crawl metric per classifier
+// variant plus the inter-site misclassification rate column.
+func RunTable5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, sitegen.FullyCrawledCodes())
+	variants := classifierVariants()
+	table := make(map[string]map[string]float64)
+	// MR comes from the confusion counts merged across sites and runs —
+	// "inter-site averaged confusion matrices" weight every prediction
+	// equally, so floor-size sites with a handful of predictions do not
+	// dominate the rate.
+	merged := make(map[string]*classify.Confusion)
+	for _, code := range sites {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return err
+		}
+		for _, v := range variants {
+			var req []float64
+			for run := 0; run < cfg.Runs; run++ {
+				res, err := core.NewSB(core.SBConfig{
+					Seed:     cfg.Seed + int64(run)*101,
+					Model:    v.Model,
+					Features: featureSet(v.Features),
+				}).Run(se.env)
+				if err != nil {
+					return err
+				}
+				req = append(req, metrics.RequestPct90(res.Trace, se.totals))
+				if res.Confusion != nil {
+					if merged[v.Label] == nil {
+						merged[v.Label] = classify.NewConfusion()
+					}
+					merged[v.Label].Merge(res.Confusion)
+				}
+			}
+			if table[v.Label] == nil {
+				table[v.Label] = map[string]float64{}
+			}
+			table[v.Label][code] = metrics.Mean(req)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "Table 5 — classifier variants (req%% to 90%% targets; MR = inter-site misclassification %%)\n")
+	fmt.Fprintf(cfg.Out, "%-14s", "Variant")
+	for _, code := range sites {
+		fmt.Fprintf(cfg.Out, " %6s", code)
+	}
+	fmt.Fprintf(cfg.Out, " %6s\n", "MR")
+	for _, v := range variants {
+		fmt.Fprintf(cfg.Out, "%-14s", v.Label)
+		for _, code := range sites {
+			fmt.Fprintf(cfg.Out, " %6s", fmtPct(table[v.Label][code]))
+		}
+		mr := 0.0
+		if m := merged[v.Label]; m != nil {
+			mr = m.MisclassificationRate()
+		}
+		fmt.Fprintf(cfg.Out, " %6.2f\n", mr)
+	}
+	return nil
+}
+
+func featureSet(i int) classify.FeatureSet { return classify.FeatureSet(i) }
+
+// RunTable6 regenerates Table 6: mean and STD of the agent's non-zero
+// rewards on every site.
+func RunTable6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, allCodes())
+	fmt.Fprintf(cfg.Out, "Table 6 — non-zero action rewards (SB-CLASSIFIER)\n")
+	fmt.Fprintf(cfg.Out, "%-4s %10s %10s %8s\n", "site", "mean", "std", "groups")
+	for _, code := range sites {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return err
+		}
+		res, err := core.NewSB(core.SBConfig{Seed: cfg.Seed}).Run(se.env)
+		if err != nil {
+			return err
+		}
+		st := metrics.ComputeRewardStats(res.Actions, 10)
+		fmt.Fprintf(cfg.Out, "%-4s %10.2f %10.2f %8d\n", code, st.Mean, st.Std, st.Groups)
+	}
+	return nil
+}
+
+// RunTable7 regenerates Table 7: SD yield over sampled targets of the seven
+// sites the paper annotates.
+func RunTable7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, sitegen.Table7Codes)
+	fmt.Fprintf(cfg.Out, "Table 7 — SDs retrieval across sample targets (40 per site)\n")
+	fmt.Fprintf(cfg.Out, "%-4s %12s %16s %8s\n", "site", "SD Yield(%)", "Mean #SDs/Tgt", "sampled")
+	for _, code := range sites {
+		p, ok := sitegen.ProfileByCode(code)
+		if !ok {
+			return fmt.Errorf("unknown site %q", code)
+		}
+		site := sitegen.Generate(sitegen.Config{
+			Profile: p, Scale: cfg.Scale, Seed: cfg.Seed, MaxPages: cfg.MaxPages,
+		})
+		rep := metrics.SDYield(site, 40, cfg.Seed)
+		fmt.Fprintf(cfg.Out, "%-4s %12.0f %16.1f %8d\n", code, rep.YieldPct, rep.MeanSDs, rep.Sampled)
+	}
+	return nil
+}
+
+// RunConfusion regenerates Tables 8–16: the confusion matrix of each
+// classifier variant, averaged across the fully crawled sites.
+func RunConfusion(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sites := sitesOrDefault(cfg, sitegen.FullyCrawledCodes())
+	for _, v := range classifierVariants() {
+		merged := classify.NewConfusion()
+		for _, code := range sites {
+			se, err := buildSite(cfg, code)
+			if err != nil {
+				return err
+			}
+			res, err := core.NewSB(core.SBConfig{
+				Seed:     cfg.Seed,
+				Model:    v.Model,
+				Features: featureSet(v.Features),
+			}).Run(se.env)
+			if err != nil {
+				return err
+			}
+			if res.Confusion != nil {
+				merged.Merge(res.Confusion)
+			}
+		}
+		fmt.Fprintf(cfg.Out, "Confusion matrix — %s (inter-site, %d sites)\n%s\n",
+			v.Label, len(sites), merged)
+	}
+	return nil
+}

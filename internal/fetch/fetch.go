@@ -1,0 +1,110 @@
+// Package fetch defines the crawler's only window onto the Web: the Fetcher
+// interface, with a simulated implementation over webserver, a real net/http
+// implementation with politeness rate limiting, and a replay cache
+// implementing the local-database semantics of Section 4.4.
+package fetch
+
+import (
+	"errors"
+
+	"sbcrawl/internal/urlutil"
+	"sbcrawl/internal/webserver"
+)
+
+// Response mirrors webserver.Response with one crawler-side addition: a
+// download may be Interrupted when the Content-Type matches the multimedia
+// blocklist (Sec. 3.4 — "its retrieval is immediately interrupted").
+type Response struct {
+	URL           string
+	Status        int
+	MIME          string
+	Location      string
+	Body          []byte
+	ContentLength int
+	Interrupted   bool
+}
+
+// Fetcher issues HTTP requests. Implementations must be safe for sequential
+// use by a single crawler; none is required to be concurrency-safe.
+type Fetcher interface {
+	// Get retrieves a URL; implementations honor the banned-MIME
+	// interruption rule when a blocklist is configured.
+	Get(url string) (Response, error)
+	// Head retrieves headers only.
+	Head(url string) (Response, error)
+}
+
+// ErrNotFetched reports a URL the fetcher refused to retrieve.
+var ErrNotFetched = errors.New("fetch: not fetched")
+
+// Sim serves requests from an in-memory webserver.Server; it is the
+// experiment path (no sockets, no waits, fully deterministic).
+type Sim struct {
+	server *webserver.Server
+	// BlockMIME enables banned-MIME interruption (on by default).
+	BlockMIME bool
+}
+
+// NewSim wraps a simulated server.
+func NewSim(server *webserver.Server) *Sim {
+	return &Sim{server: server, BlockMIME: true}
+}
+
+// Get implements Fetcher.
+func (f *Sim) Get(url string) (Response, error) {
+	resp := fromServer(f.server.Get(url))
+	if f.BlockMIME {
+		ApplyMIMEBlock(&resp)
+	}
+	return resp, nil
+}
+
+// ApplyMIMEBlock interrupts a successful download whose Content-Type is on
+// the multimedia blocklist, discarding the body (Sec. 3.4).
+func ApplyMIMEBlock(resp *Response) {
+	if resp.Status == 200 && urlutil.IsBlockedMIME(resp.MIME) {
+		resp.Body = nil
+		resp.Interrupted = true
+	}
+}
+
+// Head implements Fetcher.
+func (f *Sim) Head(url string) (Response, error) {
+	return fromServer(f.server.Head(url)), nil
+}
+
+func fromServer(r webserver.Response) Response {
+	return Response{
+		URL:           r.URL,
+		Status:        r.Status,
+		MIME:          r.MIME,
+		Location:      r.Location,
+		Body:          r.Body,
+		ContentLength: r.ContentLength,
+	}
+}
+
+// Meter accumulates the two cost functions ω of Section 2.2: request counts
+// and exchanged data volume, split by whether the response was a target.
+// Every crawler charges its traffic here; metrics read the trace.
+type Meter struct {
+	Requests     int   // GET + HEAD
+	HeadRequests int   // HEAD only
+	BytesTotal   int64 // estimated on-wire bytes received
+}
+
+// ChargeGet records a GET exchange and returns its volume cost in bytes.
+func (m *Meter) ChargeGet(resp Response) int64 {
+	m.Requests++
+	vol := int64(len(resp.Body)) + webserver.HeaderOverheadBytes
+	m.BytesTotal += vol
+	return vol
+}
+
+// ChargeHead records a HEAD exchange and returns its volume cost in bytes.
+func (m *Meter) ChargeHead() int64 {
+	m.Requests++
+	m.HeadRequests++
+	m.BytesTotal += webserver.HeaderOverheadBytes
+	return webserver.HeaderOverheadBytes
+}

@@ -1,0 +1,251 @@
+package fetch
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sbcrawl/internal/sitegen"
+	"sbcrawl/internal/webserver"
+)
+
+func newSimFetcher(t *testing.T) (*Sim, *sitegen.Site) {
+	t.Helper()
+	p, _ := sitegen.ProfileByCode("cl")
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: 0.02, Seed: 11})
+	return NewSim(webserver.New(site)), site
+}
+
+func TestSimGetAndHead(t *testing.T) {
+	f, site := newSimFetcher(t)
+	resp, err := f.Get(site.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Body) == 0 {
+		t.Fatalf("GET root: %+v", resp)
+	}
+	head, err := f.Head(site.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Body != nil || head.Status != 200 {
+		t.Errorf("HEAD root: %+v", head)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	f, site := newSimFetcher(t)
+	var m Meter
+	resp, _ := f.Get(site.Root())
+	vol := m.ChargeGet(resp)
+	if vol != int64(len(resp.Body))+webserver.HeaderOverheadBytes {
+		t.Errorf("GET volume = %d", vol)
+	}
+	m.ChargeHead()
+	if m.Requests != 2 || m.HeadRequests != 1 {
+		t.Errorf("meter = %+v", m)
+	}
+	if m.BytesTotal != vol+webserver.HeaderOverheadBytes {
+		t.Errorf("bytes total = %d", m.BytesTotal)
+	}
+}
+
+func TestReplayServesFromDatabase(t *testing.T) {
+	f, site := newSimFetcher(t)
+	r := NewReplay(f)
+	first, err := r.Get(site.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses != 1 || r.Hits != 0 {
+		t.Fatalf("after first get: hits=%d misses=%d", r.Hits, r.Misses)
+	}
+	second, err := r.Get(site.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != 1 {
+		t.Errorf("second get must hit the database")
+	}
+	if string(first.Body) != string(second.Body) {
+		t.Error("replayed body differs")
+	}
+	if r.Stored() != 1 {
+		t.Errorf("Stored = %d", r.Stored())
+	}
+}
+
+func TestReplayHeadFromStoredGet(t *testing.T) {
+	f, site := newSimFetcher(t)
+	r := NewReplay(f)
+	if _, err := r.Get(site.Root()); err != nil {
+		t.Fatal(err)
+	}
+	head, err := r.Head(site.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Body != nil {
+		t.Error("HEAD from stored GET must drop the body")
+	}
+	if r.Hits != 1 {
+		t.Errorf("HEAD after GET should be a database hit, hits=%d", r.Hits)
+	}
+}
+
+func TestReplayFrozenMode(t *testing.T) {
+	f, site := newSimFetcher(t)
+	r := NewReplay(f)
+	if _, err := r.Get(site.Root()); err != nil {
+		t.Fatal(err)
+	}
+	r.Frozen = true
+	// Unknown URL in frozen mode: 404, no backend call.
+	resp, err := r.Get(site.TargetURLs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Errorf("frozen miss status = %d, want 404", resp.Status)
+	}
+	// Stored URL still replays fine.
+	resp2, err := r.Get(site.Root())
+	if err != nil || resp2.Status != 200 {
+		t.Errorf("frozen hit failed: %v %+v", err, resp2)
+	}
+}
+
+func TestHTTPFetcherAgainstLiveServer(t *testing.T) {
+	p, _ := sitegen.ProfileByCode("cl")
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: 0.02, Seed: 13})
+	server := webserver.New(site)
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	f := NewHTTP()
+	f.MinDelay = 0 // no politeness against our own test server
+	resp, err := f.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Body) == 0 {
+		t.Fatalf("live GET: %+v", resp)
+	}
+	if !strings.HasPrefix(resp.MIME, "text/html") {
+		t.Errorf("live MIME = %q", resp.MIME)
+	}
+	head, err := f.Head(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Status != 200 || head.Body != nil {
+		t.Errorf("live HEAD: %+v", head)
+	}
+}
+
+func TestHTTPFetcherSurfacesRedirects(t *testing.T) {
+	p, _ := sitegen.ProfileByCode("cl")
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: 0.02, Seed: 13})
+	server := webserver.New(site)
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	var redirPath string
+	for _, pg := range site.Pages() {
+		if pg.Kind == sitegen.KindRedirect {
+			redirPath = strings.TrimPrefix(pg.URL, "https://"+site.Profile.Host)
+			break
+		}
+	}
+	if redirPath == "" {
+		t.Skip("no redirect generated")
+	}
+	f := NewHTTP()
+	f.MinDelay = 0
+	resp, err := f.Get(ts.URL + redirPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 301 || resp.Location == "" {
+		t.Errorf("redirect must not be auto-followed: %+v", resp)
+	}
+}
+
+func TestHTTPPolitenessDelay(t *testing.T) {
+	f := NewHTTP()
+	f.MinDelay = 100 * time.Millisecond
+	var slept time.Duration
+	f.sleep = func(d time.Duration) { slept += d }
+	f.lastRequest = time.Now()
+	f.politeWait("http://example.org/x")
+	if slept <= 0 || slept > 100*time.Millisecond {
+		t.Errorf("politeness slept %v, want (0, 100ms]", slept)
+	}
+}
+
+func TestHTTPRespectsRobots(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "User-agent: *\nDisallow: /secret/\nCrawl-delay: 0\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html><body>ok</body></html>")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	f := NewHTTP()
+	f.MinDelay = 0
+	if _, err := f.Get(ts.URL + "/public/page"); err != nil {
+		t.Fatalf("allowed page errored: %v", err)
+	}
+	if _, err := f.Get(ts.URL + "/secret/file.csv"); err != ErrRobotsDisallowed {
+		t.Errorf("disallowed page: err = %v, want ErrRobotsDisallowed", err)
+	}
+	if _, err := f.Head(ts.URL + "/secret/file.csv"); err != ErrRobotsDisallowed {
+		t.Errorf("disallowed HEAD: err = %v, want ErrRobotsDisallowed", err)
+	}
+	// Opt-out restores access.
+	f2 := NewHTTP()
+	f2.MinDelay = 0
+	f2.RespectRobots = false
+	if _, err := f2.Get(ts.URL + "/secret/file.csv"); err != nil {
+		t.Errorf("RespectRobots=false must not block: %v", err)
+	}
+}
+
+func TestHTTPRobotsMissingMeansAllowed(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html><body>ok</body></html>")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	f := NewHTTP()
+	f.MinDelay = 0
+	if _, err := f.Get(ts.URL + "/anything"); err != nil {
+		t.Errorf("no robots.txt (404) must allow: %v", err)
+	}
+}
+
+func TestApplyMIMEBlock(t *testing.T) {
+	resp := Response{Status: 200, MIME: "video/mp4", Body: []byte("xxxx")}
+	ApplyMIMEBlock(&resp)
+	if !resp.Interrupted || resp.Body != nil {
+		t.Error("banned MIME must interrupt the download")
+	}
+	keep := Response{Status: 200, MIME: "text/csv", Body: []byte("a,b")}
+	ApplyMIMEBlock(&keep)
+	if keep.Interrupted || keep.Body == nil {
+		t.Error("target MIME must not be interrupted")
+	}
+	errResp := Response{Status: 404, MIME: "image/png"}
+	ApplyMIMEBlock(&errResp)
+	if errResp.Interrupted {
+		t.Error("non-200 responses are not downloads to interrupt")
+	}
+}

@@ -1,0 +1,72 @@
+package fetch
+
+// Replay implements the local response database of Section 4.4: every
+// crawler "first checks if the resource is already stored in a local
+// database. If so, we use it; otherwise, we fetch it" and store the result.
+// Wrapping the same Replay around several crawler runs gives them the
+// identical view of the website that the paper's evaluation relies on.
+type Replay struct {
+	backend Fetcher
+	gets    map[string]Response
+	heads   map[string]Response
+
+	// Hits and Misses count database lookups, for cache diagnostics.
+	Hits, Misses int
+	// Frozen refuses backend fetches (semi-online → local-only mode); a
+	// frozen miss returns a 404 so crawlers degrade the way dead links do.
+	Frozen bool
+}
+
+// NewReplay wraps a backend fetcher with an empty database.
+func NewReplay(backend Fetcher) *Replay {
+	return &Replay{
+		backend: backend,
+		gets:    make(map[string]Response),
+		heads:   make(map[string]Response),
+	}
+}
+
+// Get implements Fetcher.
+func (r *Replay) Get(url string) (Response, error) {
+	if resp, ok := r.gets[url]; ok {
+		r.Hits++
+		return resp, nil
+	}
+	r.Misses++
+	if r.Frozen {
+		return Response{URL: url, Status: 404}, nil
+	}
+	resp, err := r.backend.Get(url)
+	if err != nil {
+		return resp, err
+	}
+	r.gets[url] = resp
+	return resp, nil
+}
+
+// Head implements Fetcher. A stored GET also answers HEAD (same headers).
+func (r *Replay) Head(url string) (Response, error) {
+	if resp, ok := r.heads[url]; ok {
+		r.Hits++
+		return resp, nil
+	}
+	if resp, ok := r.gets[url]; ok {
+		r.Hits++
+		headResp := resp
+		headResp.Body = nil
+		return headResp, nil
+	}
+	r.Misses++
+	if r.Frozen {
+		return Response{URL: url, Status: 404}, nil
+	}
+	resp, err := r.backend.Head(url)
+	if err != nil {
+		return resp, err
+	}
+	r.heads[url] = resp
+	return resp, nil
+}
+
+// Stored reports how many distinct GET responses the database holds.
+func (r *Replay) Stored() int { return len(r.gets) }

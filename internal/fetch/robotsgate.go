@@ -1,0 +1,82 @@
+package fetch
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+
+	"sbcrawl/internal/robots"
+)
+
+// ErrRobotsDisallowed reports a URL the site's robots.txt excludes for this
+// crawler; no request was issued.
+var ErrRobotsDisallowed = errors.New("fetch: disallowed by robots.txt")
+
+// robotsGate caches one robots policy per host and answers admission
+// questions for the live fetcher.
+type robotsGate struct {
+	policies map[string]*robots.Policy
+}
+
+// check fetches (once per host) and evaluates robots.txt for the URL. The
+// robots.txt request itself bypasses politeness bookkeeping — it is a single
+// small fetch per host.
+func (g *robotsGate) check(client *http.Client, userAgent, rawURL string) error {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return err
+	}
+	if g.policies == nil {
+		g.policies = make(map[string]*robots.Policy)
+	}
+	host := u.Scheme + "://" + u.Host
+	policy, ok := g.policies[host]
+	if !ok {
+		policy = fetchPolicy(client, userAgent, host)
+		g.policies[host] = policy
+	}
+	if !policy.Allowed(userAgent, u.Path) {
+		return ErrRobotsDisallowed
+	}
+	return nil
+}
+
+// delay returns the cached Crawl-delay for the URL's host (0 when unknown).
+func (g *robotsGate) delay(userAgent, rawURL string) (d int64) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return 0
+	}
+	if p, ok := g.policies[u.Scheme+"://"+u.Host]; ok {
+		return int64(p.CrawlDelay(userAgent))
+	}
+	return 0
+}
+
+// fetchPolicy retrieves /robots.txt with RFC 9309 semantics: 2xx → parse,
+// 4xx → allow all, 5xx/network error → disallow all (conservative).
+func fetchPolicy(client *http.Client, userAgent, host string) *robots.Policy {
+	req, err := http.NewRequest(http.MethodGet, host+"/robots.txt", nil)
+	if err != nil {
+		return robots.AllowAll()
+	}
+	req.Header.Set("User-Agent", userAgent)
+	resp, err := client.Do(req)
+	if err != nil {
+		return robots.DisallowAll()
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 512<<10))
+		if err != nil {
+			return robots.AllowAll()
+		}
+		return robots.Parse(body)
+	case resp.StatusCode >= 500:
+		return robots.DisallowAll()
+	default:
+		return robots.AllowAll()
+	}
+}

@@ -1,0 +1,245 @@
+// Package frontier provides the crawl-frontier data structures behind each
+// crawler of the paper: FIFO (BFS), LIFO (DFS), uniform random (RANDOM),
+// score-ordered priority queue (FOCUSED, TP-OFF), and the action-grouped
+// frontier of SB-CLASSIFIER, where each bandit action owns a set of links
+// and a link is drawn uniformly at random from the chosen action (Sec. 3.2).
+package frontier
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+)
+
+// Queue is a FIFO frontier (breadth-first crawling). The zero value is
+// ready to use.
+type Queue struct {
+	items []string
+	head  int
+}
+
+// Push appends a URL.
+func (q *Queue) Push(url string) { q.items = append(q.items, url) }
+
+// Pop removes and returns the oldest URL.
+func (q *Queue) Pop() (string, bool) {
+	if q.head >= len(q.items) {
+		return "", false
+	}
+	u := q.items[q.head]
+	q.items[q.head] = "" // release the string
+	q.head++
+	// Compact occasionally so memory stays proportional to live items.
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]string(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return u, true
+}
+
+// Len returns the number of queued URLs.
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+// Stack is a LIFO frontier (depth-first crawling). The zero value is ready
+// to use.
+type Stack struct {
+	items []string
+}
+
+// Push appends a URL.
+func (s *Stack) Push(url string) { s.items = append(s.items, url) }
+
+// Pop removes and returns the most recent URL.
+func (s *Stack) Pop() (string, bool) {
+	if len(s.items) == 0 {
+		return "", false
+	}
+	u := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return u, true
+}
+
+// Len returns the number of stacked URLs.
+func (s *Stack) Len() int { return len(s.items) }
+
+// Random is a frontier that pops a uniformly random member.
+type Random struct {
+	items []string
+	rng   *rand.Rand
+}
+
+// NewRandom builds a random frontier with a deterministic seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Push appends a URL.
+func (r *Random) Push(url string) { r.items = append(r.items, url) }
+
+// Pop removes and returns a uniformly random URL (swap-remove, O(1)).
+func (r *Random) Pop() (string, bool) {
+	n := len(r.items)
+	if n == 0 {
+		return "", false
+	}
+	i := r.rng.Intn(n)
+	u := r.items[i]
+	r.items[i] = r.items[n-1]
+	r.items = r.items[:n-1]
+	return u, true
+}
+
+// Len returns the number of held URLs.
+func (r *Random) Len() int { return len(r.items) }
+
+// Priority is a max-score frontier. Ties pop in insertion order, keeping
+// FOCUSED deterministic.
+type Priority struct {
+	h scoredHeap
+	n int64 // insertion counter for stable ordering
+}
+
+type scoredItem struct {
+	url   string
+	score float64
+	seq   int64
+}
+
+type scoredHeap []scoredItem
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].seq < h[j].seq
+}
+func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(scoredItem)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Push inserts a URL with its score.
+func (p *Priority) Push(url string, score float64) {
+	p.n++
+	heap.Push(&p.h, scoredItem{url: url, score: score, seq: p.n})
+}
+
+// Pop removes and returns the highest-scored URL.
+func (p *Priority) Pop() (string, float64, bool) {
+	if p.h.Len() == 0 {
+		return "", 0, false
+	}
+	it := heap.Pop(&p.h).(scoredItem)
+	return it.url, it.score, true
+}
+
+// Len returns the number of held URLs.
+func (p *Priority) Len() int { return p.h.Len() }
+
+// Rescore recomputes every held URL's score with fn and restores heap order
+// (used when FOCUSED retrains its classifier).
+func (p *Priority) Rescore(fn func(url string) float64) {
+	for i := range p.h {
+		p.h[i].score = fn(p.h[i].url)
+	}
+	heap.Init(&p.h)
+}
+
+// Grouped is the action-grouped frontier of SB-CLASSIFIER: every frontier
+// link belongs to exactly one action, the bandit picks an action, and the
+// link is drawn uniformly at random within it. An action with no remaining
+// links is asleep.
+type Grouped struct {
+	byAction map[int][]string
+	total    int
+	rng      *rand.Rand
+}
+
+// NewGrouped builds an action-grouped frontier with a deterministic seed.
+func NewGrouped(seed int64) *Grouped {
+	return &Grouped{byAction: make(map[int][]string), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Push adds a URL under the given action.
+func (g *Grouped) Push(action int, url string) {
+	g.byAction[action] = append(g.byAction[action], url)
+	g.total++
+}
+
+// PopFrom removes and returns a uniformly random URL of the action.
+func (g *Grouped) PopFrom(action int) (string, bool) {
+	links := g.byAction[action]
+	n := len(links)
+	if n == 0 {
+		return "", false
+	}
+	i := g.rng.Intn(n)
+	u := links[i]
+	links[i] = links[n-1]
+	links = links[:n-1]
+	if len(links) == 0 {
+		delete(g.byAction, action)
+	} else {
+		g.byAction[action] = links
+	}
+	g.total--
+	return u, true
+}
+
+// PopAny removes and returns a uniformly random URL across all actions
+// (Algorithm 3's fallback when the action set is still empty). Actions are
+// walked in sorted order so the draw is deterministic for a given seed — Go
+// map iteration order must never leak into crawler behaviour.
+func (g *Grouped) PopAny() (string, int, bool) {
+	if g.total == 0 {
+		return "", 0, false
+	}
+	k := g.rng.Intn(g.total)
+	for _, action := range g.Awake() {
+		links := g.byAction[action]
+		if k < len(links) {
+			u, _ := g.popAt(action, k)
+			return u, action, true
+		}
+		k -= len(links)
+	}
+	return "", 0, false // unreachable while total is consistent
+}
+
+func (g *Grouped) popAt(action, i int) (string, bool) {
+	links := g.byAction[action]
+	n := len(links)
+	u := links[i]
+	links[i] = links[n-1]
+	links = links[:n-1]
+	if len(links) == 0 {
+		delete(g.byAction, action)
+	} else {
+		g.byAction[action] = links
+	}
+	g.total--
+	return u, true
+}
+
+// Awake returns, in increasing order, the actions that still hold links —
+// the availability indicator 1_a(t) of the sleeping bandit.
+func (g *Grouped) Awake() []int {
+	out := make([]int, 0, len(g.byAction))
+	for a := range g.byAction {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ActionLen returns how many links the action currently holds.
+func (g *Grouped) ActionLen(action int) int { return len(g.byAction[action]) }
+
+// Len returns the total number of frontier links.
+func (g *Grouped) Len() int { return g.total }

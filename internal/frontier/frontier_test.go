@@ -1,0 +1,277 @@
+package frontier
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.Push(fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		u, ok := q.Pop()
+		if !ok || u != fmt.Sprintf("u%d", i) {
+			t.Fatalf("pop %d = %q ok=%v", i, u, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("empty queue must report !ok")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q Queue
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q.Push(fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < n-1; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	u, ok := q.Pop()
+	if !ok || u != fmt.Sprintf("u%d", n-1) {
+		t.Errorf("last pop = %q", u)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack
+	s.Push("a")
+	s.Push("b")
+	if u, _ := s.Pop(); u != "b" {
+		t.Errorf("pop = %q, want b", u)
+	}
+	if u, _ := s.Pop(); u != "a" {
+		t.Errorf("pop = %q, want a", u)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("empty stack must report !ok")
+	}
+}
+
+func TestRandomPopsEverythingOnce(t *testing.T) {
+	r := NewRandom(42)
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		u := fmt.Sprintf("u%d", i)
+		want[u] = true
+		r.Push(u)
+	}
+	got := map[string]bool{}
+	for {
+		u, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if got[u] {
+			t.Fatalf("URL %q popped twice", u)
+		}
+		got[u] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("popped %d of %d", len(got), len(want))
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	run := func() []string {
+		r := NewRandom(7)
+		for i := 0; i < 20; i++ {
+			r.Push(fmt.Sprintf("u%d", i))
+		}
+		var out []string
+		for {
+			u, ok := r.Pop()
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed random frontier diverged")
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	var p Priority
+	p.Push("low", 1)
+	p.Push("high", 10)
+	p.Push("mid", 5)
+	wantOrder := []string{"high", "mid", "low"}
+	for _, want := range wantOrder {
+		u, _, ok := p.Pop()
+		if !ok || u != want {
+			t.Fatalf("pop = %q, want %q", u, want)
+		}
+	}
+}
+
+func TestPriorityTieBreaksByInsertion(t *testing.T) {
+	var p Priority
+	p.Push("first", 3)
+	p.Push("second", 3)
+	u, _, _ := p.Pop()
+	if u != "first" {
+		t.Errorf("tie should pop insertion order, got %q", u)
+	}
+}
+
+func TestPriorityRescore(t *testing.T) {
+	var p Priority
+	p.Push("a", 1)
+	p.Push("b", 2)
+	p.Rescore(func(u string) float64 {
+		if u == "a" {
+			return 100
+		}
+		return 0
+	})
+	u, score, _ := p.Pop()
+	if u != "a" || score != 100 {
+		t.Errorf("after rescore pop = %q (%v)", u, score)
+	}
+}
+
+func TestGroupedActionLifecycle(t *testing.T) {
+	g := NewGrouped(3)
+	g.Push(0, "a1")
+	g.Push(0, "a2")
+	g.Push(5, "b1")
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	awake := g.Awake()
+	sort.Ints(awake)
+	if len(awake) != 2 || awake[0] != 0 || awake[1] != 5 {
+		t.Fatalf("Awake = %v", awake)
+	}
+	if g.ActionLen(0) != 2 {
+		t.Errorf("ActionLen(0) = %d", g.ActionLen(0))
+	}
+	// Drain action 0; it must fall asleep.
+	if _, ok := g.PopFrom(0); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, ok := g.PopFrom(0); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, ok := g.PopFrom(0); ok {
+		t.Error("drained action must report !ok")
+	}
+	awake = g.Awake()
+	if len(awake) != 1 || awake[0] != 5 {
+		t.Errorf("Awake after drain = %v", awake)
+	}
+}
+
+func TestGroupedPopAny(t *testing.T) {
+	g := NewGrouped(9)
+	seen := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		u := fmt.Sprintf("u%d", i)
+		g.Push(i%4, u)
+		seen[u] = true
+	}
+	for i := 0; i < 30; i++ {
+		u, action, ok := g.PopAny()
+		if !ok {
+			t.Fatalf("PopAny failed at %d", i)
+		}
+		if !seen[u] {
+			t.Fatalf("unknown or duplicate URL %q", u)
+		}
+		delete(seen, u)
+		if action < 0 || action > 3 {
+			t.Fatalf("bad action %d", action)
+		}
+	}
+	if _, _, ok := g.PopAny(); ok {
+		t.Error("empty grouped frontier must report !ok")
+	}
+}
+
+// Property: pushes minus pops equals Len, and no URL is ever lost or
+// duplicated, for arbitrary interleavings.
+func TestGroupedConservationProperty(t *testing.T) {
+	type op struct {
+		Push   bool
+		Action uint8
+	}
+	f := func(ops []op) bool {
+		g := NewGrouped(1)
+		live := map[string]bool{}
+		counter := 0
+		for _, o := range ops {
+			if o.Push {
+				u := fmt.Sprintf("u%d", counter)
+				counter++
+				g.Push(int(o.Action%8), u)
+				live[u] = true
+			} else {
+				u, _, ok := g.PopAny()
+				if ok {
+					if !live[u] {
+						return false
+					}
+					delete(live, u)
+				} else if len(live) != 0 {
+					return false
+				}
+			}
+			if g.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedDeterministicPerSeed(t *testing.T) {
+	run := func() []string {
+		g := NewGrouped(5)
+		for i := 0; i < 40; i++ {
+			g.Push(i%7, fmt.Sprintf("u%d", i))
+		}
+		var out []string
+		for {
+			u, _, ok := g.PopAny()
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grouped frontier diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkGroupedPushPop(b *testing.B) {
+	g := NewGrouped(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Push(i%64, "url")
+		if i%2 == 1 {
+			g.PopFrom(i % 64)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package hnsw implements a Hierarchical Navigable Small World index
+// (Malkov & Yashunin, ref. [39] of the paper) over float64 vectors with
+// cosine similarity, from scratch on the standard library. It supports the
+// two operations Algorithm 1 needs: approximate nearest-neighbour search and
+// cheap in-place updates of stored vectors (action centroids drift as tag
+// paths join their cluster).
+//
+// The index is deterministic for a given seed and is not safe for concurrent
+// use; the crawler drives it from a single goroutine.
+package hnsw
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config holds HNSW construction parameters.
+type Config struct {
+	// M is the maximum number of neighbours per node per layer (layer 0
+	// allows 2M, as in the reference implementation).
+	M int
+	// EfConstruction is the beam width during insertion.
+	EfConstruction int
+	// EfSearch is the beam width during queries.
+	EfSearch int
+	// Seed makes level draws deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns parameters suitable for the few-hundred-action
+// workloads of the crawler.
+func DefaultConfig() Config {
+	return Config{M: 12, EfConstruction: 64, EfSearch: 32, Seed: 1}
+}
+
+type node struct {
+	vec     []float64
+	norm    float64 // cached Euclidean norm of vec
+	level   int
+	friends [][]int // friends[l] = neighbour IDs at layer l
+}
+
+// Index is an HNSW graph. IDs are assigned densely from 0 in insertion
+// order and never reused.
+type Index struct {
+	cfg      Config
+	ml       float64
+	nodes    []*node
+	entry    int // entry point node ID, -1 when empty
+	maxLevel int
+	rng      *rand.Rand
+}
+
+// New creates an empty index with the given configuration.
+func New(cfg Config) *Index {
+	if cfg.M <= 0 {
+		cfg.M = 12
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = 4 * cfg.M
+	}
+	if cfg.EfSearch <= 0 {
+		cfg.EfSearch = 2 * cfg.M
+	}
+	return &Index{
+		cfg:   cfg,
+		ml:    1 / math.Log(float64(cfg.M)),
+		entry: -1,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Len returns the number of stored vectors.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Vector returns (a reference to) the stored vector for id.
+func (ix *Index) Vector(id int) []float64 { return ix.nodes[id].vec }
+
+func vectorNorm(v []float64) float64 {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	return math.Sqrt(n)
+}
+
+// similarity returns the cosine similarity between the query (with
+// precomputed norm) and node n.
+func (ix *Index) similarity(q []float64, qnorm float64, n *node) float64 {
+	if qnorm == 0 || n.norm == 0 {
+		return 0
+	}
+	var dot float64
+	for i := range q {
+		dot += q[i] * n.vec[i]
+	}
+	return dot / (qnorm * n.norm)
+}
+
+// randomLevel draws a node level from the standard exponential distribution.
+func (ix *Index) randomLevel() int {
+	return int(-math.Log(ix.rng.Float64()+1e-12) * ix.ml)
+}
+
+// Add inserts vec and returns its ID.
+func (ix *Index) Add(vec []float64) int {
+	cp := make([]float64, len(vec))
+	copy(cp, vec)
+	n := &node{vec: cp, norm: vectorNorm(cp), level: ix.randomLevel()}
+	n.friends = make([][]int, n.level+1)
+	id := len(ix.nodes)
+	ix.nodes = append(ix.nodes, n)
+
+	if ix.entry < 0 {
+		ix.entry = id
+		ix.maxLevel = n.level
+		return id
+	}
+
+	qnorm := n.norm
+	ep := ix.entry
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxLevel; l > n.level; l-- {
+		ep = ix.greedyStep(cp, qnorm, ep, l)
+	}
+	// Beam insert on the shared layers.
+	for l := min(n.level, ix.maxLevel); l >= 0; l-- {
+		cands := ix.searchLayer(cp, qnorm, []int{ep}, ix.cfg.EfConstruction, l)
+		maxConn := ix.cfg.M
+		if l == 0 {
+			maxConn = 2 * ix.cfg.M
+		}
+		selected := ix.selectNeighbors(cands, ix.cfg.M)
+		n.friends[l] = append(n.friends[l], selected...)
+		for _, nb := range selected {
+			fr := &ix.nodes[nb].friends[l]
+			*fr = append(*fr, id)
+			if len(*fr) > maxConn {
+				*fr = ix.pruneNeighbors(nb, *fr, maxConn)
+			}
+		}
+		if len(cands) > 0 {
+			ep = cands[0].id
+		}
+	}
+	if n.level > ix.maxLevel {
+		ix.maxLevel = n.level
+		ix.entry = id
+	}
+	return id
+}
+
+// Update replaces the vector stored at id in place. Graph links are kept:
+// for the small drifts of evolving centroids this preserves recall while
+// costing O(1), which is why the paper picks HNSW for "highly efficient
+// updates of centroids".
+func (ix *Index) Update(id int, vec []float64) {
+	n := ix.nodes[id]
+	copy(n.vec, vec)
+	n.norm = vectorNorm(n.vec)
+}
+
+// Result is one search hit.
+type Result struct {
+	ID         int
+	Similarity float64
+}
+
+// Search returns up to k approximate nearest neighbours of q by cosine
+// similarity, most similar first.
+func (ix *Index) Search(q []float64, k int) []Result {
+	if ix.entry < 0 || k <= 0 {
+		return nil
+	}
+	qnorm := vectorNorm(q)
+	ep := ix.entry
+	for l := ix.maxLevel; l > 0; l-- {
+		ep = ix.greedyStep(q, qnorm, ep, l)
+	}
+	ef := ix.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	cands := ix.searchLayer(q, qnorm, []int{ep}, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Similarity: c.sim}
+	}
+	return out
+}
+
+// Nearest returns the single best match, or ok=false on an empty index.
+func (ix *Index) Nearest(q []float64) (Result, bool) {
+	res := ix.Search(q, 1)
+	if len(res) == 0 {
+		return Result{}, false
+	}
+	return res[0], true
+}
+
+type scored struct {
+	id  int
+	sim float64
+}
+
+// greedyStep walks greedily at layer l from ep to the locally most similar
+// node to q and returns it.
+func (ix *Index) greedyStep(q []float64, qnorm float64, ep, l int) int {
+	cur := ep
+	curSim := ix.similarity(q, qnorm, ix.nodes[cur])
+	for {
+		improved := false
+		for _, nb := range ix.friendsAt(cur, l) {
+			if s := ix.similarity(q, qnorm, ix.nodes[nb]); s > curSim {
+				cur, curSim = nb, s
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func (ix *Index) friendsAt(id, l int) []int {
+	n := ix.nodes[id]
+	if l >= len(n.friends) {
+		return nil
+	}
+	return n.friends[l]
+}
+
+// searchLayer performs the beam search of the HNSW paper at one layer and
+// returns up to ef results sorted by decreasing similarity.
+func (ix *Index) searchLayer(q []float64, qnorm float64, eps []int, ef, l int) []scored {
+	visited := map[int]bool{}
+	// candidates: max-sim first (explored best-first);
+	// results: kept sorted ascending by sim, worst at index 0.
+	var candidates, results []scored
+	push := func(s scored) {
+		candidates = append(candidates, s)
+		for i := len(candidates) - 1; i > 0 && candidates[i].sim > candidates[i-1].sim; i-- {
+			candidates[i], candidates[i-1] = candidates[i-1], candidates[i]
+		}
+	}
+	addResult := func(s scored) {
+		results = append(results, s)
+		for i := len(results) - 1; i > 0 && results[i].sim < results[i-1].sim; i-- {
+			results[i], results[i-1] = results[i-1], results[i]
+		}
+		if len(results) > ef {
+			results = results[1:]
+		}
+	}
+	for _, ep := range eps {
+		if visited[ep] {
+			continue
+		}
+		visited[ep] = true
+		s := scored{ep, ix.similarity(q, qnorm, ix.nodes[ep])}
+		push(s)
+		addResult(s)
+	}
+	for len(candidates) > 0 {
+		c := candidates[0]
+		candidates = candidates[1:]
+		if len(results) >= ef && c.sim < results[0].sim {
+			break
+		}
+		for _, nb := range ix.friendsAt(c.id, l) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			s := scored{nb, ix.similarity(q, qnorm, ix.nodes[nb])}
+			if len(results) < ef || s.sim > results[0].sim {
+				push(s)
+				addResult(s)
+			}
+		}
+	}
+	// Reverse to most-similar-first.
+	out := make([]scored, len(results))
+	for i := range results {
+		out[i] = results[len(results)-1-i]
+	}
+	return out
+}
+
+// selectNeighbors keeps the m most similar candidates (simple heuristic).
+func (ix *Index) selectNeighbors(cands []scored, m int) []int {
+	if len(cands) > m {
+		cands = cands[:m]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// pruneNeighbors trims id's neighbour list to the maxConn most similar.
+func (ix *Index) pruneNeighbors(id int, friends []int, maxConn int) []int {
+	n := ix.nodes[id]
+	scoredFriends := make([]scored, len(friends))
+	for i, f := range friends {
+		scoredFriends[i] = scored{f, ix.similarity(n.vec, n.norm, ix.nodes[f])}
+	}
+	// Insertion sort by decreasing similarity (lists are tiny).
+	for i := 1; i < len(scoredFriends); i++ {
+		for j := i; j > 0 && scoredFriends[j].sim > scoredFriends[j-1].sim; j-- {
+			scoredFriends[j], scoredFriends[j-1] = scoredFriends[j-1], scoredFriends[j]
+		}
+	}
+	if len(scoredFriends) > maxConn {
+		scoredFriends = scoredFriends[:maxConn]
+	}
+	out := make([]int, len(scoredFriends))
+	for i, s := range scoredFriends {
+		out[i] = s.id
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package hnsw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomUnitVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	var n float64
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		n += v[i] * v[i]
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(DefaultConfig())
+	if _, ok := ix.Nearest([]float64{1, 2}); ok {
+		t.Error("Nearest on empty index must report !ok")
+	}
+	if res := ix.Search([]float64{1}, 5); res != nil {
+		t.Errorf("Search on empty index = %v, want nil", res)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ix := New(DefaultConfig())
+	id := ix.Add([]float64{1, 0, 0})
+	got, ok := ix.Nearest([]float64{0.9, 0.1, 0})
+	if !ok || got.ID != id {
+		t.Fatalf("Nearest = %+v ok=%v", got, ok)
+	}
+	if got.Similarity < 0.98 {
+		t.Errorf("similarity = %v, want high", got.Similarity)
+	}
+}
+
+func TestExactMatchFound(t *testing.T) {
+	ix := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([][]float64, 50)
+	for i := range vecs {
+		vecs[i] = randomUnitVec(rng, 16)
+		ix.Add(vecs[i])
+	}
+	for i, v := range vecs {
+		got, ok := ix.Nearest(v)
+		if !ok {
+			t.Fatal("no result")
+		}
+		if got.Similarity < 1-1e-9 {
+			t.Errorf("query %d: exact vector similarity %v, want 1", i, got.Similarity)
+		}
+	}
+}
+
+// TestRecallAgainstBruteForce checks that HNSW top-1 recall on random data
+// stays high (this is the property the action index relies on).
+func TestRecallAgainstBruteForce(t *testing.T) {
+	const (
+		n       = 400
+		dim     = 32
+		queries = 100
+	)
+	rng := rand.New(rand.NewSource(42))
+	ix := New(Config{M: 12, EfConstruction: 96, EfSearch: 64, Seed: 9})
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = randomUnitVec(rng, dim)
+		ix.Add(vecs[i])
+	}
+	hits := 0
+	for q := 0; q < queries; q++ {
+		query := randomUnitVec(rng, dim)
+		best, bestSim := -1, -2.0
+		for i, v := range vecs {
+			if s := cosine(query, v); s > bestSim {
+				best, bestSim = i, s
+			}
+		}
+		got, ok := ix.Nearest(query)
+		if !ok {
+			t.Fatal("no result")
+		}
+		if got.ID == best || got.Similarity >= bestSim-1e-9 {
+			hits++
+		}
+	}
+	if recall := float64(hits) / queries; recall < 0.9 {
+		t.Errorf("top-1 recall = %v, want >= 0.9", recall)
+	}
+}
+
+func TestSearchOrderAndK(t *testing.T) {
+	ix := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		ix.Add(randomUnitVec(rng, 8))
+	}
+	q := randomUnitVec(rng, 8)
+	res := ix.Search(q, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results, want 10", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Similarity > res[i-1].Similarity+1e-12 {
+			t.Errorf("results not sorted: %v then %v", res[i-1].Similarity, res[i].Similarity)
+		}
+	}
+}
+
+func TestUpdateMovesCentroid(t *testing.T) {
+	ix := New(DefaultConfig())
+	a := ix.Add([]float64{1, 0})
+	ix.Add([]float64{0, 1})
+	// Drift a towards (0.6, 0.8); queries near the new direction must find it.
+	ix.Update(a, []float64{0.6, 0.8})
+	got, _ := ix.Nearest([]float64{0.6, 0.8})
+	if got.ID != a {
+		t.Errorf("after update, nearest = %d, want %d", got.ID, a)
+	}
+	if math.Abs(got.Similarity-1) > 1e-9 {
+		t.Errorf("similarity to updated vector = %v, want 1", got.Similarity)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() []Result {
+		ix := New(Config{M: 8, EfConstruction: 32, EfSearch: 16, Seed: 5})
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 80; i++ {
+			ix.Add(randomUnitVec(rng, 8))
+		}
+		return ix.Search(randomUnitVec(rng, 8), 5)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("different result counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("non-deterministic result %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroVectorHandled(t *testing.T) {
+	ix := New(DefaultConfig())
+	ix.Add([]float64{0, 0, 0})
+	ix.Add([]float64{1, 0, 0})
+	got, ok := ix.Nearest([]float64{1, 0, 0})
+	if !ok || got.Similarity < 1-1e-9 {
+		t.Errorf("zero vectors must not break search: %+v", got)
+	}
+}
+
+// Property: Search never returns more than k results, never duplicates IDs,
+// and all IDs are valid.
+func TestSearchInvariantProperty(t *testing.T) {
+	ix := New(Config{M: 6, EfConstruction: 24, EfSearch: 12, Seed: 2})
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60; i++ {
+		ix.Add(randomUnitVec(rng, 6))
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		q := randomUnitVec(rand.New(rand.NewSource(seed)), 6)
+		res := ix.Search(q, k)
+		if len(res) > k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, r := range res {
+			if r.ID < 0 || r.ID >= ix.Len() || seen[r.ID] {
+				return false
+			}
+			seen[r.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([][]float64, b.N)
+	for i := range vecs {
+		vecs[i] = randomUnitVec(rng, 32)
+	}
+	ix := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Add(vecs[i])
+	}
+}
+
+func BenchmarkHNSWVsBruteForce(b *testing.B) {
+	// The ablation bench of DESIGN.md §4: nearest-centroid lookup cost via
+	// HNSW vs linear scan at the action-count scale the crawler sees.
+	const n, dim = 500, 64
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([][]float64, n)
+	ix := New(DefaultConfig())
+	for i := range vecs {
+		vecs[i] = randomUnitVec(rng, dim)
+		ix.Add(vecs[i])
+	}
+	q := randomUnitVec(rng, dim)
+	b.Run("hnsw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.Nearest(q)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			best := -2.0
+			for _, v := range vecs {
+				if s := cosine(q, v); s > best {
+					best = s
+				}
+			}
+			_ = best
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package learn implements the lightweight online binary classifiers of
+// Section 3.3 and Table 5 of the paper: logistic regression trained by
+// stochastic gradient descent (the default), a linear SVM, multinomial Naive
+// Bayes, and a passive–aggressive classifier. All models consume sparse
+// feature vectors, train incrementally in mini-batches, and are deterministic.
+//
+// Labels are binary: 0 ("HTML") and 1 ("Target"). The deliberate two-class
+// design — despite some URLs being "Neither" — follows the paper's analysis
+// of asymmetric misclassification costs.
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"sbcrawl/internal/textvec"
+)
+
+// sortedIDs returns the feature IDs of x in increasing order. Iterating
+// sparse vectors in a canonical order makes every floating-point sum — and
+// therefore training and prediction — bit-for-bit deterministic, a property
+// the paper requires of the whole crawler.
+func sortedIDs(x textvec.Sparse) []int {
+	ids := make([]int, 0, len(x))
+	for id := range x {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Class labels.
+const (
+	ClassHTML   = 0
+	ClassTarget = 1
+)
+
+// Example is one labeled training instance.
+type Example struct {
+	X textvec.Sparse
+	Y int
+}
+
+// Model is an online binary classifier.
+type Model interface {
+	// PartialFit performs one incremental training pass over the batch
+	// (one SGD epoch for the gradient models, count updates for NB).
+	PartialFit(batch []Example)
+	// Predict returns ClassHTML or ClassTarget.
+	Predict(x textvec.Sparse) int
+	// Score returns a real-valued confidence for ClassTarget; the decision
+	// threshold is 0 for margin models and 0.5-equivalent for NB.
+	Score(x textvec.Sparse) float64
+	// Name identifies the model family ("LR", "SVM", "NB", "PA").
+	Name() string
+}
+
+// weights is a sparse weight vector plus bias shared by the linear models.
+type weights struct {
+	w map[int]float64
+	b float64
+}
+
+func newWeights() weights { return weights{w: make(map[int]float64)} }
+
+func (ws *weights) dot(x textvec.Sparse) float64 {
+	s := ws.b
+	for _, id := range sortedIDs(x) {
+		s += ws.w[id] * x[id]
+	}
+	return s
+}
+
+func (ws *weights) axpy(scale float64, x textvec.Sparse) {
+	for id, v := range x {
+		ws.w[id] += scale * v
+	}
+	ws.b += scale
+}
+
+// LogisticRegression is an SGD-trained logistic regression, the paper's
+// default URL classifier model (URL_ONLY-LR).
+type LogisticRegression struct {
+	weights
+	// LR is the SGD learning rate.
+	LR float64
+	// L2 is the ridge regularization strength applied per update.
+	L2 float64
+	// Epochs is the number of passes over each mini-batch.
+	Epochs int
+}
+
+// NewLogisticRegression returns a model with sensible online defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{weights: newWeights(), LR: 0.5, L2: 1e-6, Epochs: 3}
+}
+
+// Name implements Model.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Score returns P(target|x) − 0.5 scaled to a margin-like value (the raw
+// linear score), positive for ClassTarget.
+func (m *LogisticRegression) Score(x textvec.Sparse) float64 { return m.dot(x) }
+
+// Predict implements Model.
+func (m *LogisticRegression) Predict(x textvec.Sparse) int {
+	if m.Score(x) > 0 {
+		return ClassTarget
+	}
+	return ClassHTML
+}
+
+// PartialFit implements Model: Epochs passes of SGD with log loss.
+func (m *LogisticRegression) PartialFit(batch []Example) {
+	for e := 0; e < m.Epochs; e++ {
+		for _, ex := range batch {
+			y := float64(ex.Y) // 1 for target, 0 for html
+			p := sigmoid(m.dot(ex.X))
+			grad := p - y
+			if m.L2 > 0 {
+				for id := range ex.X {
+					m.w[id] *= 1 - m.LR*m.L2
+				}
+			}
+			m.axpy(-m.LR*grad, ex.X)
+		}
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// LinearSVM is an SGD-trained soft-margin linear SVM (hinge loss).
+type LinearSVM struct {
+	weights
+	LR     float64
+	L2     float64
+	Epochs int
+}
+
+// NewLinearSVM returns a model with online defaults.
+func NewLinearSVM() *LinearSVM {
+	return &LinearSVM{weights: newWeights(), LR: 0.5, L2: 1e-6, Epochs: 3}
+}
+
+// Name implements Model.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Score implements Model.
+func (m *LinearSVM) Score(x textvec.Sparse) float64 { return m.dot(x) }
+
+// Predict implements Model.
+func (m *LinearSVM) Predict(x textvec.Sparse) int {
+	if m.Score(x) > 0 {
+		return ClassTarget
+	}
+	return ClassHTML
+}
+
+// PartialFit implements Model.
+func (m *LinearSVM) PartialFit(batch []Example) {
+	for e := 0; e < m.Epochs; e++ {
+		for _, ex := range batch {
+			y := signed(ex.Y)
+			margin := y * m.dot(ex.X)
+			if m.L2 > 0 {
+				for id := range ex.X {
+					m.w[id] *= 1 - m.LR*m.L2
+				}
+			}
+			if margin < 1 {
+				m.axpy(m.LR*y, ex.X)
+			}
+		}
+	}
+}
+
+func signed(y int) float64 {
+	if y == ClassTarget {
+		return 1
+	}
+	return -1
+}
+
+// NaiveBayes is an incrementally trained multinomial Naive Bayes classifier
+// with Laplace smoothing.
+type NaiveBayes struct {
+	// Alpha is the Laplace smoothing pseudo-count.
+	Alpha float64
+
+	classCount [2]float64
+	featCount  [2]map[int]float64
+	featTotal  [2]float64
+	vocab      map[int]struct{}
+}
+
+// NewNaiveBayes returns a model with add-one smoothing.
+func NewNaiveBayes() *NaiveBayes {
+	return &NaiveBayes{
+		Alpha:     1,
+		featCount: [2]map[int]float64{make(map[int]float64), make(map[int]float64)},
+		vocab:     make(map[int]struct{}),
+	}
+}
+
+// Name implements Model.
+func (m *NaiveBayes) Name() string { return "NB" }
+
+// PartialFit implements Model: counts accumulate, so NB is naturally online.
+func (m *NaiveBayes) PartialFit(batch []Example) {
+	for _, ex := range batch {
+		c := ex.Y
+		m.classCount[c]++
+		for _, id := range sortedIDs(ex.X) {
+			v := ex.X[id]
+			if v < 0 {
+				v = 0
+			}
+			m.featCount[c][id] += v
+			m.featTotal[c] += v
+			m.vocab[id] = struct{}{}
+		}
+	}
+}
+
+// Score returns log P(target|x) − log P(html|x).
+func (m *NaiveBayes) Score(x textvec.Sparse) float64 {
+	total := m.classCount[0] + m.classCount[1]
+	if total == 0 {
+		return 0
+	}
+	v := float64(len(m.vocab))
+	score := [2]float64{}
+	ids := sortedIDs(x)
+	for c := 0; c < 2; c++ {
+		score[c] = math.Log((m.classCount[c] + m.Alpha) / (total + 2*m.Alpha))
+		denom := m.featTotal[c] + m.Alpha*v
+		for _, id := range ids {
+			cnt := x[id]
+			if cnt <= 0 {
+				continue
+			}
+			score[c] += cnt * math.Log((m.featCount[c][id]+m.Alpha)/denom)
+		}
+	}
+	return score[1] - score[0]
+}
+
+// Predict implements Model.
+func (m *NaiveBayes) Predict(x textvec.Sparse) int {
+	if m.Score(x) > 0 {
+		return ClassTarget
+	}
+	return ClassHTML
+}
+
+// PassiveAggressive is the PA-I online classifier of Crammer et al.
+// (ref. [49]): on each mistake or margin violation it takes the smallest
+// step that restores a unit margin, capped by aggressiveness C.
+type PassiveAggressive struct {
+	weights
+	// C caps the per-example step size (PA-I).
+	C float64
+}
+
+// NewPassiveAggressive returns a PA-I model with C=1.
+func NewPassiveAggressive() *PassiveAggressive {
+	return &PassiveAggressive{weights: newWeights(), C: 1}
+}
+
+// Name implements Model.
+func (m *PassiveAggressive) Name() string { return "PA" }
+
+// Score implements Model.
+func (m *PassiveAggressive) Score(x textvec.Sparse) float64 { return m.dot(x) }
+
+// Predict implements Model.
+func (m *PassiveAggressive) Predict(x textvec.Sparse) int {
+	if m.Score(x) > 0 {
+		return ClassTarget
+	}
+	return ClassHTML
+}
+
+// PartialFit implements Model.
+func (m *PassiveAggressive) PartialFit(batch []Example) {
+	for _, ex := range batch {
+		y := signed(ex.Y)
+		loss := 1 - y*m.dot(ex.X)
+		if loss <= 0 {
+			continue
+		}
+		var norm2 float64
+		for _, v := range ex.X {
+			norm2 += v * v
+		}
+		norm2++ // bias term
+		tau := loss / norm2
+		if tau > m.C {
+			tau = m.C
+		}
+		m.axpy(tau*y, ex.X)
+	}
+}
+
+// NewModel constructs a model by family name ("LR", "SVM", "NB", "PA"); it
+// returns nil for unknown names.
+func NewModel(name string) Model {
+	switch name {
+	case "LR":
+		return NewLogisticRegression()
+	case "SVM":
+		return NewLinearSVM()
+	case "NB":
+		return NewNaiveBayes()
+	case "PA":
+		return NewPassiveAggressive()
+	}
+	return nil
+}
+
+// ModelNames lists the supported families in the order Table 5 reports them.
+var ModelNames = []string{"LR", "SVM", "NB", "PA"}

@@ -1,0 +1,203 @@
+// Package metrics turns crawl traces into the numbers the paper reports:
+// the request metric of Table 2 (percentage of requests to retrieve 90% of
+// targets), the volume metric of Table 3 (fraction of non-target volume
+// before 90% of target volume), figure curves, per-action reward statistics
+// (Figure 5, Table 6), early-stopping savings, and the SD-yield analysis of
+// Table 7.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"sbcrawl/internal/core"
+)
+
+// Infinity marks a metric a crawler never achieved (the paper's +∞ cells).
+var Infinity = math.Inf(1)
+
+// SiteTotals are the ground-truth denominators, measured on the full site
+// (equivalently, the BFS-visited subset the paper computes metrics on).
+type SiteTotals struct {
+	AvailablePages int   // 2xx pages: HTML + targets
+	Targets        int   // |V*|
+	TargetBytes    int64 // Σ target sizes
+	NonTargetBytes int64 // Σ non-target response volume over a full crawl
+}
+
+// RequestsToTargetShare returns the number of requests after which the trace
+// holds at least share (e.g. 0.9) of the site's targets, or -1 if never.
+func RequestsToTargetShare(tr *core.Trace, totals SiteTotals, share float64) int {
+	need := int32(math.Ceil(share * float64(totals.Targets)))
+	if need <= 0 {
+		return 0
+	}
+	for i, v := range tr.Targets {
+		if v >= need {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// RequestPct90 is the Table 2 metric: requests to reach 90% of targets, as a
+// percentage of the site's available pages. Returns Infinity when the crawl
+// never got there.
+func RequestPct90(tr *core.Trace, totals SiteTotals) float64 {
+	r := RequestsToTargetShare(tr, totals, 0.9)
+	if r < 0 || totals.AvailablePages == 0 {
+		return Infinity
+	}
+	return 100 * float64(r) / float64(totals.AvailablePages)
+}
+
+// VolumePct90 is the Table 3 metric: the fraction of the site's non-target
+// volume retrieved before the crawl has 90% of the total target volume, in
+// percent. Returns Infinity when the target-volume share is never reached.
+func VolumePct90(tr *core.Trace, totals SiteTotals) float64 {
+	if totals.TargetBytes == 0 || totals.NonTargetBytes == 0 {
+		return Infinity
+	}
+	need := int64(math.Ceil(0.9 * float64(totals.TargetBytes)))
+	for i := range tr.TargetBytes {
+		if tr.TargetBytes[i] >= need {
+			return 100 * float64(tr.NonTargetBytes[i]) / float64(totals.NonTargetBytes)
+		}
+	}
+	return Infinity
+}
+
+// TotalsFromResult derives SiteTotals from an exhaustive reference crawl
+// (the paper uses BFS's view of partially crawled sites).
+func TotalsFromResult(res *core.Result, availablePages int) SiteTotals {
+	return SiteTotals{
+		AvailablePages: availablePages,
+		Targets:        len(res.Targets),
+		TargetBytes:    res.TargetBytes,
+		NonTargetBytes: res.NonTargetBytes,
+	}
+}
+
+// CurvePoint is one sample of a Figure 4 curve.
+type CurvePoint struct {
+	Requests       int
+	Targets        int
+	TargetBytes    int64
+	NonTargetBytes int64
+}
+
+// Curve downsamples a trace to at most n points (always keeping the last),
+// the series plotted in Figures 4 and 7.
+func Curve(tr *core.Trace, n int) []CurvePoint {
+	total := tr.Len()
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]CurvePoint, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * total / n
+		if idx > total {
+			idx = total
+		}
+		idx--
+		out = append(out, CurvePoint{
+			Requests:       idx + 1,
+			Targets:        int(tr.Targets[idx]),
+			TargetBytes:    tr.TargetBytes[idx],
+			NonTargetBytes: tr.NonTargetBytes[idx],
+		})
+	}
+	return out
+}
+
+// RewardStats summarizes the non-zero action rewards of an SB run: the mean
+// and standard deviation of Table 6 and the sorted top-k means of Figure 5.
+type RewardStats struct {
+	Mean   float64
+	Std    float64
+	Top    []float64 // descending non-zero means
+	Groups int       // actions with non-zero reward
+}
+
+// ComputeRewardStats derives Table 6 / Figure 5 statistics from a result's
+// action list.
+func ComputeRewardStats(actions []core.ActionStat, topK int) RewardStats {
+	var nz []float64
+	for _, a := range actions {
+		if a.MeanReward > 0 {
+			nz = append(nz, a.MeanReward)
+		}
+	}
+	st := RewardStats{Groups: len(nz)}
+	if len(nz) == 0 {
+		return st
+	}
+	var sum, sq float64
+	for _, v := range nz {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(nz))
+	st.Mean = sum / n
+	st.Std = math.Sqrt(maxf(sq/n-st.Mean*st.Mean, 0))
+	sort.Sort(sort.Reverse(sort.Float64Slice(nz)))
+	if len(nz) > topK {
+		nz = nz[:topK]
+	}
+	st.Top = nz
+	return st
+}
+
+// EarlyStopOutcome quantifies the Section 4.8 trade-off between a stopped
+// and an unstopped run of the same crawler.
+type EarlyStopOutcome struct {
+	SavedRequestsPct float64 // % of requests avoided
+	LostTargetsPct   float64 // % of targets missed
+	Fired            bool
+}
+
+// CompareEarlyStop derives the lower rows of Table 2.
+func CompareEarlyStop(stopped, full *core.Result) EarlyStopOutcome {
+	out := EarlyStopOutcome{Fired: stopped.EarlyStopped}
+	if full.Requests > 0 {
+		out.SavedRequestsPct = 100 * float64(full.Requests-stopped.Requests) / float64(full.Requests)
+		if out.SavedRequestsPct < 0 {
+			out.SavedRequestsPct = 0
+		}
+	}
+	if n := len(full.Targets); n > 0 {
+		out.LostTargetsPct = 100 * float64(n-len(stopped.Targets)) / float64(n)
+		if out.LostTargetsPct < 0 {
+			out.LostTargetsPct = 0
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the values, ignoring infinities; it
+// returns Infinity when every value is infinite.
+func Mean(values []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range values {
+		if math.IsInf(v, 0) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return Infinity
+	}
+	return sum / float64(n)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

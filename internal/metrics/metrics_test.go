@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/sitegen"
+)
+
+// syntheticTrace builds a trace where one target arrives every k requests.
+func syntheticTrace(requests, everyK int, bytesPerTarget, bytesPerPage int64) *core.Trace {
+	tr := &core.Trace{}
+	targets := 0
+	var tb, ntb int64
+	for i := 1; i <= requests; i++ {
+		if i%everyK == 0 {
+			targets++
+			tb += bytesPerTarget
+		} else {
+			ntb += bytesPerPage
+		}
+		tr.Record(targets, tb, ntb)
+	}
+	return tr
+}
+
+func TestRequestsToTargetShare(t *testing.T) {
+	tr := syntheticTrace(100, 10, 1000, 100) // 10 targets at requests 10,20,…
+	totals := SiteTotals{AvailablePages: 100, Targets: 10}
+	if got := RequestsToTargetShare(tr, totals, 0.9); got != 90 {
+		t.Errorf("requests to 90%% = %d, want 90", got)
+	}
+	if got := RequestsToTargetShare(tr, totals, 0.1); got != 10 {
+		t.Errorf("requests to 10%% = %d, want 10", got)
+	}
+	if got := RequestsToTargetShare(tr, SiteTotals{Targets: 50}, 0.9); got != -1 {
+		t.Errorf("unreachable share must be -1, got %d", got)
+	}
+	if got := RequestsToTargetShare(tr, SiteTotals{Targets: 0}, 0.9); got != 0 {
+		t.Errorf("zero targets = trivially reached, got %d", got)
+	}
+}
+
+func TestRequestPct90(t *testing.T) {
+	tr := syntheticTrace(100, 10, 1000, 100)
+	totals := SiteTotals{AvailablePages: 200, Targets: 10}
+	if got := RequestPct90(tr, totals); math.Abs(got-45) > 1e-9 {
+		t.Errorf("RequestPct90 = %v, want 45 (90 of 200 pages)", got)
+	}
+	if got := RequestPct90(tr, SiteTotals{AvailablePages: 200, Targets: 99}); !math.IsInf(got, 1) {
+		t.Errorf("never-reached metric must be +Inf, got %v", got)
+	}
+}
+
+func TestVolumePct90(t *testing.T) {
+	tr := syntheticTrace(100, 10, 1000, 100)
+	// Total target volume 10k; 90% = 9k reached at the 9th target
+	// (request 90), when 81 non-target pages × 100B = 8100 retrieved.
+	totals := SiteTotals{TargetBytes: 10000, NonTargetBytes: 9000}
+	want := 100 * 8100.0 / 9000.0
+	if got := VolumePct90(tr, totals); math.Abs(got-want) > 1e-9 {
+		t.Errorf("VolumePct90 = %v, want %v", got, want)
+	}
+	if got := VolumePct90(tr, SiteTotals{TargetBytes: 1 << 40, NonTargetBytes: 9000}); !math.IsInf(got, 1) {
+		t.Error("unreachable volume share must be +Inf")
+	}
+}
+
+func TestCurveDownsampling(t *testing.T) {
+	tr := syntheticTrace(1000, 10, 1000, 100)
+	curve := Curve(tr, 20)
+	if len(curve) != 20 {
+		t.Fatalf("curve has %d points, want 20", len(curve))
+	}
+	last := curve[len(curve)-1]
+	if last.Requests != 1000 || last.Targets != 100 {
+		t.Errorf("last point = %+v, must be the trace end", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Requests <= curve[i-1].Requests {
+			t.Error("curve requests must increase")
+		}
+	}
+	if pts := Curve(tr, 5000); len(pts) != 1000 {
+		t.Errorf("oversampling must clamp to trace length, got %d", len(pts))
+	}
+	if Curve(&core.Trace{}, 10) != nil {
+		t.Error("empty trace yields nil curve")
+	}
+}
+
+func TestComputeRewardStats(t *testing.T) {
+	actions := []core.ActionStat{
+		{ID: 0, MeanReward: 0},
+		{ID: 1, MeanReward: 10},
+		{ID: 2, MeanReward: 2},
+		{ID: 3, MeanReward: 0},
+		{ID: 4, MeanReward: 6},
+	}
+	st := ComputeRewardStats(actions, 2)
+	if st.Groups != 3 {
+		t.Errorf("Groups = %d, want 3 non-zero", st.Groups)
+	}
+	if math.Abs(st.Mean-6) > 1e-9 {
+		t.Errorf("Mean = %v, want 6", st.Mean)
+	}
+	if len(st.Top) != 2 || st.Top[0] != 10 || st.Top[1] != 6 {
+		t.Errorf("Top = %v, want [10 6]", st.Top)
+	}
+	empty := ComputeRewardStats(nil, 5)
+	if empty.Groups != 0 || empty.Mean != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestCompareEarlyStop(t *testing.T) {
+	full := &core.Result{Requests: 1000, Targets: make([]string, 100)}
+	stopped := &core.Result{Requests: 600, Targets: make([]string, 98), EarlyStopped: true}
+	out := CompareEarlyStop(stopped, full)
+	if !out.Fired {
+		t.Error("Fired must propagate")
+	}
+	if math.Abs(out.SavedRequestsPct-40) > 1e-9 {
+		t.Errorf("saved = %v, want 40", out.SavedRequestsPct)
+	}
+	if math.Abs(out.LostTargetsPct-2) > 1e-9 {
+		t.Errorf("lost = %v, want 2", out.LostTargetsPct)
+	}
+}
+
+func TestMeanIgnoresInfinities(t *testing.T) {
+	if got := Mean([]float64{1, 3, Infinity}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean([]float64{Infinity}); !math.IsInf(got, 1) {
+		t.Errorf("all-infinite mean = %v, want +Inf", got)
+	}
+}
+
+func TestSDYieldMatchesGroundTruth(t *testing.T) {
+	p, _ := sitegen.ProfileByCode("is") // 93% yield in Table 7
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: 0.005, Seed: 3})
+	rep := SDYield(site, 40, 7)
+	if rep.Sampled == 0 {
+		t.Fatal("no targets sampled")
+	}
+	if rep.Sampled > 40 {
+		t.Errorf("sampled %d > 40", rep.Sampled)
+	}
+	if math.Abs(rep.YieldPct-93) > 20 {
+		t.Errorf("yield = %.1f%%, want ≈ 93%% (Table 7)", rep.YieldPct)
+	}
+	if rep.MeanSDs <= 0 {
+		t.Error("mean SDs must be positive on a statistics site")
+	}
+}
+
+// Property: RequestsToTargetShare is monotone in the share argument.
+func TestShareMonotoneProperty(t *testing.T) {
+	tr := syntheticTrace(500, 7, 100, 10)
+	totals := SiteTotals{AvailablePages: 500, Targets: int(tr.Targets[tr.Len()-1])}
+	f := func(a, b uint8) bool {
+		sa := float64(a%100) / 100
+		sb := float64(b%100) / 100
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ra := RequestsToTargetShare(tr, totals, sa)
+		rb := RequestsToTargetShare(tr, totals, sb)
+		if ra < 0 || rb < 0 {
+			return false
+		}
+		return ra <= rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

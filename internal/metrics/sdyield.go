@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+
+	"sbcrawl/internal/sitegen"
+)
+
+// SDYieldReport reproduces one column of Table 7: over a random sample of
+// retrieved targets, the share containing at least one statistics table and
+// the mean number of statistics tables per sampled target.
+type SDYieldReport struct {
+	Sampled      int
+	YieldPct     float64 // % of targets with ≥ 1 SD
+	MeanSDs      float64 // mean #SDs over all sampled targets
+	TotalSDCount int
+}
+
+// SDYield samples up to sampleSize targets of the site (the paper samples
+// 40 per site), downloads their bodies, and counts embedded statistics
+// tables by their marker — the programmatic stand-in for the paper's manual
+// annotation.
+func SDYield(site *sitegen.Site, sampleSize int, seed int64) SDYieldReport {
+	var targets []*sitegen.Page
+	for _, p := range site.Pages() {
+		if p.Kind == sitegen.KindTarget {
+			targets = append(targets, p)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	if len(targets) > sampleSize {
+		targets = targets[:sampleSize]
+	}
+	rep := SDYieldReport{Sampled: len(targets)}
+	if len(targets) == 0 {
+		return rep
+	}
+	withSD := 0
+	marker := []byte(sitegen.SDMarker)
+	for _, p := range targets {
+		body := site.RenderPage(p)
+		n := bytes.Count(body, marker)
+		rep.TotalSDCount += n
+		if n > 0 {
+			withSD++
+		}
+	}
+	rep.YieldPct = 100 * float64(withSD) / float64(rep.Sampled)
+	rep.MeanSDs = float64(rep.TotalSDCount) / float64(rep.Sampled)
+	return rep
+}

@@ -1,0 +1,484 @@
+package sitegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PageKind discriminates what a URL resolves to.
+type PageKind int
+
+// Page kinds.
+const (
+	KindHTML PageKind = iota
+	KindTarget
+	KindError
+	KindRedirect
+)
+
+// Page is one URL of a generated site, with its ground truth and outgoing
+// link structure. Link lists hold page IDs; the zone a link is rendered in
+// determines its tag path, which is what the bandit learns from.
+type Page struct {
+	ID     int
+	URL    string
+	Kind   PageKind
+	Status int    // 200, 301, 404, or 500
+	MIME   string // response Content-Type
+	Depth  int    // navigation-tree depth from the root
+	IsHub  bool   // HTML page carrying dataset links
+	SizeB  int    // body size for targets (HTML renders on demand)
+	// SDCount is the number of statistics tables embedded in a target.
+	SDCount int
+	// RedirectTo is the destination page ID for 3xx pages.
+	RedirectTo int
+	// TemplateID varies rendering slightly among pages of the same site.
+	TemplateID int
+	// Link zones (page IDs).
+	NavLinks        []int
+	ContentLinks    []int
+	PortalLinks     []int
+	DatasetLinks    []int
+	PaginationLinks []int
+	// ExternalLinks are absolute out-of-scope URLs (must be filtered by
+	// the crawler's scope rules).
+	ExternalLinks []string
+	// MediaLinks are blocked-extension URLs (images etc.).
+	MediaLinks []string
+}
+
+// Config controls generation.
+type Config struct {
+	// Profile selects the site to mirror.
+	Profile Profile
+	// Scale multiplies the paper's page count (e.g. 0.002 turns the 31k-page
+	// be site into ~62 pages). Values ≤ 0 default to 0.002.
+	Scale float64
+	// Seed drives all randomness; same seed, same site.
+	Seed int64
+	// MinPages floors the available-page count so tiny scales stay usable.
+	MinPages int
+	// MaxPages caps the available-page count (0 = no cap).
+	MaxPages int
+	// TargetSizeScale converts the paper's MB sizes into generated body
+	// bytes; the default 1.0/1024 turns MB into KB so large sites stay
+	// laptop-sized while preserving relative volumes.
+	TargetSizeScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.002
+	}
+	if c.MinPages <= 0 {
+		c.MinPages = 40
+	}
+	if c.TargetSizeScale <= 0 {
+		c.TargetSizeScale = 1.0 / 1024
+	}
+	return c
+}
+
+// Site is a fully generated website: the ground truth the simulated server
+// exposes and the oracles and metrics consult.
+type Site struct {
+	Profile Profile
+	Cfg     Config
+
+	pages []*Page
+	index map[string]int
+	skin  skin
+	// rootID is always 0.
+	seed int64
+}
+
+// Generate builds a deterministic synthetic site for the configuration.
+func Generate(cfg Config) *Site {
+	cfg = cfg.withDefaults()
+	p := cfg.Profile
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(hashCode(p.Code))))
+
+	nAvail := int(float64(p.AvailablePages) * cfg.Scale)
+	if nAvail < cfg.MinPages {
+		nAvail = cfg.MinPages
+	}
+	if cfg.MaxPages > 0 && nAvail > cfg.MaxPages {
+		nAvail = cfg.MaxPages
+	}
+	nTargets := int(float64(nAvail) * p.TargetFrac)
+	if nTargets < 3 {
+		nTargets = 3
+	}
+	nHTML := nAvail - nTargets
+	if nHTML < 10 {
+		nHTML = 10
+	}
+	nHubs := int(float64(nHTML) * p.HubFrac)
+	if nHubs < 1 {
+		nHubs = 1
+	}
+
+	s := &Site{
+		Profile: p,
+		Cfg:     cfg,
+		index:   make(map[string]int),
+		skin:    skinFor(p),
+		seed:    cfg.Seed,
+	}
+
+	s.buildHTMLPages(rng, nHTML)
+	hubs := s.designateHubs(rng, nHubs)
+	s.buildTargets(rng, nTargets, hubs)
+	s.linkHubs(rng, hubs)
+	s.addNoiseLinks(rng)
+	s.buildErrors(rng, nAvail)
+	s.buildRedirects(rng, nAvail)
+	s.assignURLs(rng)
+	return s
+}
+
+// buildHTMLPages creates the navigation skeleton: HTML pages with depths
+// drawn from the profile's distribution, each attached to a parent one level
+// shallower.
+func (s *Site) buildHTMLPages(rng *rand.Rand, nHTML int) {
+	maxDepth := int(s.Profile.DepthMean + 2*s.Profile.DepthStd)
+	if lim := nHTML / 3; maxDepth > lim {
+		maxDepth = lim
+	}
+	if maxDepth < 2 {
+		maxDepth = 2
+	}
+	depths := make([]int, nHTML-1)
+	for i := range depths {
+		d := int(math.Round(rng.NormFloat64()*s.Profile.DepthStd + s.Profile.DepthMean))
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDepth {
+			d = maxDepth
+		}
+		depths[i] = d
+	}
+	sort.Ints(depths)
+
+	root := &Page{ID: 0, Kind: KindHTML, Status: 200, MIME: "text/html", Depth: 0}
+	s.pages = append(s.pages, root)
+	byDepth := [][]int{{0}}
+
+	for _, want := range depths {
+		d := want
+		if d > len(byDepth) {
+			d = len(byDepth) // attach below the current deepest level
+		}
+		parents := byDepth[d-1]
+		parent := s.pages[parents[rng.Intn(len(parents))]]
+		pg := &Page{
+			ID: len(s.pages), Kind: KindHTML, Status: 200,
+			MIME: "text/html", Depth: d, TemplateID: rng.Intn(4),
+		}
+		s.pages = append(s.pages, pg)
+		parent.ContentLinks = append(parent.ContentLinks, pg.ID)
+		if d == len(byDepth) {
+			byDepth = append(byDepth, nil)
+		}
+		byDepth[d] = append(byDepth[d], pg.ID)
+	}
+}
+
+// designateHubs marks nHubs HTML pages (never the root) as dataset hubs and
+// moves the tree links pointing at them into their parents' portal zone, so
+// that "link to a data catalog" carries a distinctive tag path.
+func (s *Site) designateHubs(rng *rand.Rand, nHubs int) []*Page {
+	htmlPages := s.htmlPages()
+	perm := rng.Perm(len(htmlPages) - 1) // skip root at index 0
+	var hubs []*Page
+	for _, idx := range perm {
+		if len(hubs) == nHubs {
+			break
+		}
+		pg := htmlPages[idx+1]
+		pg.IsHub = true
+		hubs = append(hubs, pg)
+	}
+	// Re-zone tree links to hubs.
+	for _, pg := range s.pages {
+		if pg.Kind != KindHTML {
+			continue
+		}
+		kept := pg.ContentLinks[:0]
+		for _, c := range pg.ContentLinks {
+			if s.pages[c].IsHub {
+				pg.PortalLinks = append(pg.PortalLinks, c)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		pg.ContentLinks = kept
+	}
+	return hubs
+}
+
+// buildTargets creates target pages, assigns each to a primary hub, embeds
+// statistics tables per the profile's SD yield, and draws log-normal sizes.
+func (s *Site) buildTargets(rng *rand.Rand, nTargets int, hubs []*Page) {
+	mu, sigma := lognormalParams(s.Profile.TargetSizeMeanMB, s.Profile.TargetSizeStdMB)
+	condSD := 0.0
+	if s.Profile.SDYield > 0 {
+		condSD = s.Profile.SDPerTarget/s.Profile.SDYield - 1
+		if condSD < 0 {
+			condSD = 0
+		}
+	}
+	// Targets are spread over hubs by a Zipf-like law: a few rich catalogs
+	// hold most files while many hubs list only a handful, producing the
+	// skewed per-group reward distribution of Figure 5 / Table 6.
+	hubWeights := make([]float64, len(hubs))
+	var weightSum float64
+	for i := range hubs {
+		hubWeights[i] = 1 / math.Pow(float64(i+1), 1.1)
+		weightSum += hubWeights[i]
+	}
+	pickHub := func() *Page {
+		x := rng.Float64() * weightSum
+		for i, w := range hubWeights {
+			x -= w
+			if x < 0 {
+				return hubs[i]
+			}
+		}
+		return hubs[len(hubs)-1]
+	}
+	for i := 0; i < nTargets; i++ {
+		hub := pickHub()
+		mime := pickTargetMIME(rng)
+		sizeMB := math.Exp(rng.NormFloat64()*sigma + mu)
+		sizeB := int(sizeMB * 1024 * 1024 * s.Cfg.TargetSizeScale)
+		if sizeB < 256 {
+			sizeB = 256
+		}
+		if sizeB > 512*1024 {
+			sizeB = 512 * 1024
+		}
+		sd := 0
+		if rng.Float64() < s.Profile.SDYield {
+			sd = 1 + poisson(rng, condSD)
+		}
+		pg := &Page{
+			ID: len(s.pages), Kind: KindTarget, Status: 200,
+			MIME: mime, Depth: hub.Depth + 1, SizeB: sizeB, SDCount: sd,
+		}
+		s.pages = append(s.pages, pg)
+		hub.DatasetLinks = append(hub.DatasetLinks, pg.ID)
+		// Occasionally a second hub links the same file (exercises the
+		// "new targets only" novelty reward).
+		if len(hubs) > 1 && rng.Float64() < 0.15 {
+			other := hubs[rng.Intn(len(hubs))]
+			if other != hub {
+				other.DatasetLinks = append(other.DatasetLinks, pg.ID)
+			}
+		}
+	}
+}
+
+// linkHubs chains hubs into catalog runs with pagination links and adds a
+// few extra portal links from shallow pages, the navigation structure of
+// real data portals. Each catalog run becomes its own site section: its
+// hubs share a section template (TemplateID = run index), so the dataset
+// and pagination zones of different catalogs carry different tag paths —
+// rich catalogs become distinguishable from poor ones.
+func (s *Site) linkHubs(rng *rand.Rand, hubs []*Page) {
+	const run = 5
+	for i, hub := range hubs {
+		hub.TemplateID = i / run
+	}
+	for i := 0; i+1 < len(hubs); i++ {
+		if (i+1)%run != 0 {
+			hubs[i].PaginationLinks = append(hubs[i].PaginationLinks, hubs[i+1].ID)
+			if rng.Float64() < 0.5 {
+				hubs[i+1].PaginationLinks = append(hubs[i+1].PaginationLinks, hubs[i].ID)
+			}
+		}
+	}
+	htmlPages := s.htmlPages()
+	for _, hub := range hubs {
+		extra := rng.Intn(2) + 1
+		for j := 0; j < extra; j++ {
+			src := htmlPages[rng.Intn(len(htmlPages))]
+			if src.ID != hub.ID && !src.IsHub {
+				src.PortalLinks = append(src.PortalLinks, hub.ID)
+			}
+		}
+	}
+}
+
+// addNoiseLinks sprinkles the realistic clutter: nav links to the root and
+// ancestors, cross-content links, external links, and media links.
+func (s *Site) addNoiseLinks(rng *rand.Rand) {
+	htmlPages := s.htmlPages()
+	for _, pg := range htmlPages {
+		if pg.ID != 0 {
+			pg.NavLinks = append(pg.NavLinks, 0) // home link
+		}
+		// Nav links to a few random shallow pages (menus are sitewide).
+		for j := 0; j < 3 && j < len(htmlPages); j++ {
+			other := htmlPages[rng.Intn(len(htmlPages))]
+			if other.ID != pg.ID && other.Depth <= 2 {
+				pg.NavLinks = append(pg.NavLinks, other.ID)
+			}
+		}
+		// Cross-content links.
+		extra := poisson(rng, 2)
+		for j := 0; j < extra; j++ {
+			other := htmlPages[rng.Intn(len(htmlPages))]
+			if other.ID != pg.ID && !other.IsHub {
+				pg.ContentLinks = append(pg.ContentLinks, other.ID)
+			}
+		}
+		if rng.Float64() < 0.15 {
+			pg.ExternalLinks = append(pg.ExternalLinks,
+				fmt.Sprintf("https://partner-%d.example.com/page", rng.Intn(50)))
+		}
+		if rng.Float64() < 0.20 {
+			n := rng.Intn(3) + 1
+			for j := 0; j < n; j++ {
+				pg.MediaLinks = append(pg.MediaLinks,
+					fmt.Sprintf("/media/img-%d.jpg", rng.Intn(1000)))
+			}
+		}
+	}
+}
+
+// buildErrors creates 4xx/5xx URLs that look like ordinary HTML or target
+// URLs — the "Neither" class the URL classifier cannot separate (Sec. 3.3) —
+// and links them from random pages.
+func (s *Site) buildErrors(rng *rand.Rand, nAvail int) {
+	nErr := int(float64(nAvail) * s.Profile.ErrorRate)
+	htmlPages := s.htmlPages()
+	for i := 0; i < nErr; i++ {
+		status := 404
+		if rng.Float64() < 0.25 {
+			status = 500
+		}
+		pg := &Page{ID: len(s.pages), Kind: KindError, Status: status}
+		s.pages = append(s.pages, pg)
+		src := htmlPages[rng.Intn(len(htmlPages))]
+		src.ContentLinks = append(src.ContentLinks, pg.ID)
+	}
+}
+
+// buildRedirects creates 3xx URLs pointing at real pages (and, rarely, at
+// other redirects, so the crawler's chain handling is exercised).
+func (s *Site) buildRedirects(rng *rand.Rand, nAvail int) {
+	nRedir := int(float64(nAvail) * s.Profile.RedirectRate)
+	htmlPages := s.htmlPages()
+	targets := s.targetPages()
+	firstRedirect := len(s.pages)
+	for i := 0; i < nRedir; i++ {
+		var dest int
+		switch {
+		case i > 0 && rng.Float64() < 0.05:
+			dest = firstRedirect + rng.Intn(i) // chain to an earlier redirect
+		case len(targets) > 0 && rng.Float64() < 0.2:
+			dest = targets[rng.Intn(len(targets))].ID
+		default:
+			dest = htmlPages[rng.Intn(len(htmlPages))].ID
+		}
+		pg := &Page{ID: len(s.pages), Kind: KindRedirect, Status: 301, RedirectTo: dest}
+		s.pages = append(s.pages, pg)
+		src := htmlPages[rng.Intn(len(htmlPages))]
+		src.ContentLinks = append(src.ContentLinks, pg.ID)
+	}
+}
+
+func (s *Site) htmlPages() []*Page {
+	var out []*Page
+	for _, p := range s.pages {
+		if p.Kind == KindHTML {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Site) targetPages() []*Page {
+	var out []*Page
+	for _, p := range s.pages {
+		if p.Kind == KindTarget {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lognormalParams converts a desired mean/std into log-normal μ, σ.
+func lognormalParams(mean, std float64) (mu, sigma float64) {
+	if mean <= 0 {
+		mean = 0.1
+	}
+	if std <= 0 {
+		std = mean / 2
+	}
+	v := std * std / (mean * mean)
+	sigma = math.Sqrt(math.Log(1 + v))
+	mu = math.Log(mean) - sigma*sigma/2
+	return mu, sigma
+}
+
+// poisson draws a Poisson variate via Knuth's method (λ is always small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// mimeWeights define the target MIME mix of a statistics site.
+var mimeWeights = []struct {
+	mime   string
+	weight int
+}{
+	{"application/pdf", 30},
+	{"text/csv", 25},
+	{"application/vnd.openxmlformats-officedocument.spreadsheetml.sheet", 15},
+	{"application/zip", 10},
+	{"application/vnd.ms-excel", 8},
+	{"application/vnd.oasis.opendocument.spreadsheet", 4},
+	{"application/json", 4},
+	{"application/vnd.openxmlformats-officedocument.wordprocessingml.document", 4},
+}
+
+func pickTargetMIME(rng *rand.Rand) string {
+	total := 0
+	for _, w := range mimeWeights {
+		total += w.weight
+	}
+	x := rng.Intn(total)
+	for _, w := range mimeWeights {
+		x -= w.weight
+		if x < 0 {
+			return w.mime
+		}
+	}
+	return "application/pdf"
+}
+
+func hashCode(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

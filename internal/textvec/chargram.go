@@ -1,0 +1,72 @@
+package textvec
+
+// Sparse is a sparse feature vector keyed by feature ID, the representation
+// consumed by the online learners of internal/learn.
+type Sparse map[int]float64
+
+// Add accumulates another sparse vector, with the other vector's IDs shifted
+// by offset (used to concatenate feature blocks for URL_CONT features).
+func (s Sparse) Add(other Sparse, offset int) {
+	for id, v := range other {
+		s[id+offset] += v
+	}
+}
+
+// L2Normalize scales the vector to unit Euclidean norm (no-op on zero
+// vectors). Normalization keeps SGD step sizes comparable across URLs of
+// very different lengths.
+func (s Sparse) L2Normalize() {
+	var n float64
+	for _, v := range s {
+		n += v * v
+	}
+	if n == 0 {
+		return
+	}
+	inv := 1 / sqrt(n)
+	for id, v := range s {
+		s[id] = v * inv
+	}
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations; avoids importing math just for this hot path.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}
+
+// charClassCount is the size of the "usual ASCII" alphabet of Section 3.3:
+// digits, upper and lower case letters, and main special characters, plus a
+// catch-all bucket for anything else.
+const charClassCount = 96
+
+// charClass maps a byte to its alphabet index. Printable ASCII (0x20–0x7E)
+// gets a dense code; everything else shares the final bucket, so non-ASCII
+// URLs (multilingual sites) still vectorize.
+func charClass(b byte) int {
+	if b >= 0x20 && b < 0x7F {
+		return int(b - 0x20)
+	}
+	return charClassCount - 1
+}
+
+// CharBigramDim is the dimensionality of the character-bigram feature space.
+const CharBigramDim = charClassCount * charClassCount
+
+// CharBigrams encodes a string as a bag of character 2-grams over the fixed
+// ASCII-pair vocabulary, the URL feature representation of Algorithm 2 (the
+// URL https://www.A.com/... becomes [ht, tt, tp, ...]).
+func CharBigrams(s string) Sparse {
+	out := make(Sparse, len(s))
+	for i := 0; i+1 < len(s); i++ {
+		id := charClass(s[i])*charClassCount + charClass(s[i+1])
+		out[id]++
+	}
+	return out
+}

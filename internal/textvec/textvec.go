@@ -1,0 +1,189 @@
+// Package textvec implements the feature-vector machinery of Section 3 of
+// the paper: dynamic n-gram vocabularies over tag-path tokens, bag-of-words
+// vectors, the fixed-dimension hash projection of Figure 3, and character
+// bigram features for URLs (Sec. 3.3).
+package textvec
+
+import (
+	"math"
+)
+
+// BOS and EOS are the special tokens denoting beginning and end of a tag
+// path's token stream (Figure 3).
+const (
+	BOS = "[BOS]"
+	EOS = "[EOS]"
+)
+
+// NGrams returns the order-preserving n-grams of the token sequence, framed
+// by BOS/EOS. For n=1 it returns the tokens themselves (a set-of-tags view);
+// for n≥2 each gram is n consecutive tokens joined by '\x1f'.
+func NGrams(tokens []string, n int) []string {
+	if n <= 1 {
+		out := make([]string, len(tokens))
+		copy(out, tokens)
+		return out
+	}
+	framed := make([]string, 0, len(tokens)+2)
+	framed = append(framed, BOS)
+	framed = append(framed, tokens...)
+	framed = append(framed, EOS)
+	if len(framed) < n {
+		return []string{join(framed)}
+	}
+	out := make([]string, 0, len(framed)-n+1)
+	for i := 0; i+n <= len(framed); i++ {
+		out = append(out, join(framed[i:i+n]))
+	}
+	return out
+}
+
+func join(parts []string) string {
+	s := parts[0]
+	for _, p := range parts[1:] {
+		s += "\x1f" + p
+	}
+	return s
+}
+
+// Vocab is a dynamically growing vocabulary assigning stable integer IDs to
+// grams in order of first appearance, as the paper's vocabulary is built
+// during the crawl.
+type Vocab struct {
+	ids map[string]int
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{ids: make(map[string]int)} }
+
+// Len returns the current vocabulary size d.
+func (v *Vocab) Len() int { return len(v.ids) }
+
+// ID returns the gram's ID, assigning a fresh one on first sight.
+func (v *Vocab) ID(gram string) int {
+	if id, ok := v.ids[gram]; ok {
+		return id
+	}
+	id := len(v.ids)
+	v.ids[gram] = id
+	return id
+}
+
+// Lookup returns the gram's ID without extending the vocabulary.
+func (v *Vocab) Lookup(gram string) (int, bool) {
+	id, ok := v.ids[gram]
+	return id, ok
+}
+
+// BoW computes the bag-of-words count vector of the grams over the (growing)
+// vocabulary. The returned slice has length v.Len() after the update.
+func (v *Vocab) BoW(grams []string) []float64 {
+	for _, g := range grams {
+		v.ID(g)
+	}
+	p := make([]float64, v.Len())
+	for _, g := range grams {
+		p[v.ids[g]]++
+	}
+	return p
+}
+
+// Projector implements the position-hashing projection of Section 3.2:
+// h(x) = ⌊(Π·x mod 2^w) / 2^(w−m)⌋ maps any BoW position to a bucket in
+// [0, D) with D = 2^m, and colliding positions are resolved by averaging.
+type Projector struct {
+	M  uint   // D = 2^M output dimension exponent
+	W  uint   // modulus exponent; must satisfy W > M
+	Pi uint64 // large prime multiplier Π
+}
+
+// DefaultPi is a large prime multiplier for the projection hash; the paper's
+// worked example uses 766245317, which we keep as the default so the Figure 3
+// walk-through is reproducible bit-for-bit.
+const DefaultPi = 766245317
+
+// NewProjector builds a Projector with D = 2^m and modulus 2^w. It panics if
+// w <= m, which the construction forbids.
+func NewProjector(m, w uint, pi uint64) *Projector {
+	if w <= m {
+		panic("textvec: projector requires w > m")
+	}
+	if pi == 0 {
+		pi = DefaultPi
+	}
+	return &Projector{M: m, W: w, Pi: pi}
+}
+
+// Dim returns the output dimension D = 2^m.
+func (pr *Projector) Dim() int { return 1 << pr.M }
+
+// Hash maps a BoW position to its bucket in [0, D).
+func (pr *Projector) Hash(x int) int {
+	mod := uint64(1) << pr.W
+	shift := pr.W - pr.M
+	return int((pr.Pi * uint64(x) % mod) >> shift)
+}
+
+// Project maps a d-dimensional BoW vector to the fixed D-dimensional space.
+// Buckets hit by several positions receive the mean of the colliding values;
+// buckets hit by none are zero (Figure 3).
+func (pr *Projector) Project(p []float64) []float64 {
+	d := pr.Dim()
+	sum := make([]float64, d)
+	count := make([]int, d)
+	for i, val := range p {
+		j := pr.Hash(i)
+		sum[j] += val
+		count[j]++
+	}
+	out := make([]float64, d)
+	for j := range out {
+		if count[j] > 0 {
+			out[j] = sum[j] / float64(count[j])
+		}
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors, or 0
+// when either has zero norm.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TagPathVectorizer turns tag paths into fixed-dimension vectors: n-grams
+// over a dynamic vocabulary, then hash projection. It is the composition
+// used by Algorithm 1 to feed the action index.
+type TagPathVectorizer struct {
+	N     int // n-gram order (paper default 2)
+	vocab *Vocab
+	proj  *Projector
+}
+
+// NewTagPathVectorizer builds a vectorizer with the given n-gram order and
+// projection parameters (paper defaults: n=2, m=12, w=15).
+func NewTagPathVectorizer(n int, m, w uint) *TagPathVectorizer {
+	return &TagPathVectorizer{N: n, vocab: NewVocab(), proj: NewProjector(m, w, DefaultPi)}
+}
+
+// Dim returns the fixed output dimension D.
+func (tv *TagPathVectorizer) Dim() int { return tv.proj.Dim() }
+
+// VocabLen returns the current dynamic vocabulary size.
+func (tv *TagPathVectorizer) VocabLen() int { return tv.vocab.Len() }
+
+// Vectorize maps tag-path tokens to a D-dimensional vector, growing the
+// vocabulary as new grams appear.
+func (tv *TagPathVectorizer) Vectorize(tokens []string) []float64 {
+	grams := NGrams(tokens, tv.N)
+	return tv.proj.Project(tv.vocab.BoW(grams))
+}

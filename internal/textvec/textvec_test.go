@@ -1,0 +1,290 @@
+package textvec
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNGramsOrders(t *testing.T) {
+	tokens := []string{"html", "body", "a"}
+	uni := NGrams(tokens, 1)
+	if len(uni) != 3 || uni[0] != "html" {
+		t.Errorf("1-grams = %v", uni)
+	}
+	bi := NGrams(tokens, 2)
+	// [BOS] html, html body, body a, a [EOS]
+	if len(bi) != 4 {
+		t.Fatalf("2-grams = %v, want 4 grams", bi)
+	}
+	if bi[0] != BOS+"\x1f"+"html" || bi[3] != "a\x1f"+EOS {
+		t.Errorf("2-gram framing wrong: %v", bi)
+	}
+	tri := NGrams(tokens, 3)
+	if len(tri) != 3 {
+		t.Errorf("3-grams = %v, want 3 grams", tri)
+	}
+}
+
+func TestNGramsPreserveOrder(t *testing.T) {
+	a := NGrams([]string{"x", "y"}, 2)
+	b := NGrams([]string{"y", "x"}, 2)
+	if strings.Join(a, "|") == strings.Join(b, "|") {
+		t.Error("n-grams must be order-sensitive (the paper stresses order matters)")
+	}
+}
+
+func TestNGramsShortSequence(t *testing.T) {
+	out := NGrams([]string{}, 3)
+	if len(out) != 1 {
+		t.Errorf("short framed sequence should yield one joined gram, got %v", out)
+	}
+}
+
+func TestVocabStableIDs(t *testing.T) {
+	v := NewVocab()
+	a := v.ID("alpha")
+	b := v.ID("beta")
+	if a2 := v.ID("alpha"); a2 != a {
+		t.Errorf("ID not stable: %d then %d", a, a2)
+	}
+	if a == b {
+		t.Error("distinct grams must get distinct IDs")
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("Lookup must not extend the vocabulary")
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestBoWCounts(t *testing.T) {
+	v := NewVocab()
+	p := v.BoW([]string{"a", "b", "a", "c", "a"})
+	if len(p) != 3 {
+		t.Fatalf("BoW dim = %d, want 3", len(p))
+	}
+	id, _ := v.Lookup("a")
+	if p[id] != 3 {
+		t.Errorf("count of a = %v, want 3", p[id])
+	}
+}
+
+// TestPaperHashExample checks the exact worked example of Section 3.2:
+// h(2) = ⌊(766245317·2 mod 2048)/512⌋ = 1 with w=11, m=2.
+func TestPaperHashExample(t *testing.T) {
+	pr := NewProjector(2, 11, 766245317)
+	if got := pr.Hash(2); got != 1 {
+		t.Errorf("h(2) = %d, want 1 (paper example)", got)
+	}
+	// The figure also states h(4)=h(8)=h(9)=3.
+	for _, x := range []int{4, 8, 9} {
+		if got := pr.Hash(x); got != 3 {
+			t.Errorf("h(%d) = %d, want 3 (paper example)", x, got)
+		}
+	}
+}
+
+// TestPaperProjectionExample reproduces the full Figure 3 walk-through:
+// an 11-dimensional BoW [1 1 1 0 0 1 2 1 1 1 1] projects into D=4 with
+// p_D[3] = mean of colliding positions ≈ 0.67.
+func TestPaperProjectionExample(t *testing.T) {
+	pr := NewProjector(2, 11, 766245317)
+	p := []float64{1, 1, 1, 0, 0, 1, 2, 1, 1, 1, 1}
+	out := pr.Project(p)
+	if len(out) != 4 {
+		t.Fatalf("projected dim = %d, want 4", len(out))
+	}
+	// Position 3's bucket receives p[4], p[8], p[9] = 0, 1, 1 → mean 2/3.
+	if math.Abs(out[3]-2.0/3.0) > 1e-9 {
+		t.Errorf("p_D[3] = %v, want 0.667 (mean-on-collision rule)", out[3])
+	}
+}
+
+func TestProjectorPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewProjector(5,5) must panic: w must exceed m")
+		}
+	}()
+	NewProjector(5, 5, 0)
+}
+
+// Property: every hash lands in [0, D) and projection output is always
+// exactly D wide, whatever the input dimension.
+func TestProjectionBoundsProperty(t *testing.T) {
+	pr := NewProjector(12, 15, 0)
+	f := func(positions []uint16) bool {
+		for _, x := range positions {
+			h := pr.Hash(int(x))
+			if h < 0 || h >= pr.Dim() {
+				return false
+			}
+		}
+		p := make([]float64, len(positions)%500+1)
+		for i := range p {
+			p[i] = float64(i % 7)
+		}
+		out := pr.Project(p)
+		return len(out) == pr.Dim()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection is deterministic.
+func TestProjectionDeterministicProperty(t *testing.T) {
+	pr := NewProjector(6, 13, 0)
+	f := func(vals []float64) bool {
+		a := pr.Project(vals)
+		b := pr.Project(vals)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 1}, []float64{1, 1}, 1},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{1, 2, 3}, []float64{2, 4, 6}, 1},
+	}
+	for _, c := range cases {
+		if got := Cosine(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Cosine(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTagPathVectorizerSimilarity(t *testing.T) {
+	tv := NewTagPathVectorizer(2, 12, 15)
+	pathA := []string{"html", "body", "div#main", "ul.datasets", "li", "a"}
+	pathA2 := []string{"html", "body", "div#main", "ul.datasets", "li", "a.dl"}
+	pathB := []string{"html", "body", "nav", "ul.menu", "li", "a"}
+	va := tv.Vectorize(pathA)
+	va2 := tv.Vectorize(pathA2)
+	vb := tv.Vectorize(pathB)
+	simAA := Cosine(va, va2)
+	simAB := Cosine(va, vb)
+	if simAA <= simAB {
+		t.Errorf("similar paths must be more similar: sim(A,A')=%v vs sim(A,B)=%v", simAA, simAB)
+	}
+	if got := Cosine(va, tv.Vectorize(pathA)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical path must be self-similar at 1, got %v", got)
+	}
+	if tv.Dim() != 4096 {
+		t.Errorf("Dim = %d, want 4096 for m=12", tv.Dim())
+	}
+}
+
+func TestVectorizerVocabGrows(t *testing.T) {
+	tv := NewTagPathVectorizer(2, 8, 12)
+	before := tv.VocabLen()
+	tv.Vectorize([]string{"html", "body", "a"})
+	mid := tv.VocabLen()
+	tv.Vectorize([]string{"html", "body", "a"})
+	after := tv.VocabLen()
+	if mid <= before {
+		t.Error("vocabulary must grow on first path")
+	}
+	if after != mid {
+		t.Error("vocabulary must not grow on a repeated path")
+	}
+}
+
+func TestCharBigrams(t *testing.T) {
+	v := CharBigrams("https://www.A.com/data/file.csv")
+	if len(v) == 0 {
+		t.Fatal("no bigrams extracted")
+	}
+	ht := charClass('h')*charClassCount + charClass('t')
+	if v[ht] < 1 {
+		t.Errorf("bigram 'ht' should be present, got %v", v[ht])
+	}
+	tt := charClass('t')*charClassCount + charClass('t')
+	if v[tt] < 1 {
+		t.Errorf("bigram 'tt' should be present, got %v", v[tt])
+	}
+}
+
+func TestCharBigramsNonASCII(t *testing.T) {
+	// Multilingual URL (e.g. soumu.go.jp pages with encoded Japanese) must
+	// still yield features, via the catch-all bucket.
+	v := CharBigrams("https://例え.jp/データ")
+	if len(v) == 0 {
+		t.Error("non-ASCII input must still produce features")
+	}
+}
+
+func TestSparseAddWithOffset(t *testing.T) {
+	a := Sparse{1: 1, 2: 2}
+	b := Sparse{1: 5}
+	a.Add(b, 100)
+	if a[101] != 5 {
+		t.Errorf("offset add failed: %v", a)
+	}
+	if a[1] != 1 {
+		t.Errorf("original entries must be preserved: %v", a)
+	}
+}
+
+func TestSparseL2Normalize(t *testing.T) {
+	s := Sparse{0: 3, 1: 4}
+	s.L2Normalize()
+	if math.Abs(s[0]-0.6) > 1e-9 || math.Abs(s[1]-0.8) > 1e-9 {
+		t.Errorf("normalize = %v", s)
+	}
+	z := Sparse{}
+	z.L2Normalize() // must not panic
+}
+
+// Property: CharBigrams of s has exactly max(len(s)-1, 0) total counts.
+func TestCharBigramCountProperty(t *testing.T) {
+	f := func(s string) bool {
+		v := CharBigrams(s)
+		var total float64
+		for _, c := range v {
+			total += c
+		}
+		want := len(s) - 1
+		if want < 0 {
+			want = 0
+		}
+		return total == float64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVectorizeTagPath(b *testing.B) {
+	tv := NewTagPathVectorizer(2, 12, 15)
+	path := []string{"html", "body", "div#container", "div", "div", "div", "ul", "li.datasets", "a.dataset"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tv.Vectorize(path)
+	}
+}
+
+func BenchmarkCharBigrams(b *testing.B) {
+	url := "https://www.justice.gouv.fr/documentation/bulletin-officiel/file-2024-03.csv"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CharBigrams(url)
+	}
+}

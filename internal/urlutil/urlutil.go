@@ -1,0 +1,135 @@
+// Package urlutil implements the URL scoping, normalization, and MIME-type
+// rules of Section 2.2 of the paper. A URL belongs to the website rooted at r
+// when its hostname (ignoring a leading "www.") is a subdomain of r's
+// hostname; targets are identified by a user-defined MIME-type list, and
+// multimedia content is excluded by MIME and extension blocklists.
+package urlutil
+
+import (
+	"net/url"
+	"path"
+	"strings"
+)
+
+// Scope decides which URLs belong to the website being crawled, following
+// the pragmatic boundary definition of Section 2.2: a URL is in scope when
+// its hostname, after stripping a potential "www." prefix, equals the root
+// hostname or is one of its subdomains.
+type Scope struct {
+	rootHost string // root hostname, lowercased, without "www."
+}
+
+// NewScope builds a Scope from the crawl root URL. It returns an error when
+// the root is not an absolute http(s) URL with a hostname.
+func NewScope(root string) (*Scope, error) {
+	u, err := url.Parse(root)
+	if err != nil {
+		return nil, err
+	}
+	host := StripWWW(strings.ToLower(u.Hostname()))
+	if host == "" {
+		return nil, &ScopeError{Root: root}
+	}
+	return &Scope{rootHost: host}, nil
+}
+
+// ScopeError reports a root URL from which no scope could be derived.
+type ScopeError struct{ Root string }
+
+func (e *ScopeError) Error() string { return "urlutil: root URL has no hostname: " + e.Root }
+
+// RootHost returns the normalized root hostname of the scope.
+func (s *Scope) RootHost() string { return s.rootHost }
+
+// Contains reports whether raw is part of the same website as the root.
+// Invalid URLs and non-http(s) schemes are out of scope.
+func (s *Scope) Contains(raw string) bool {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return false
+	}
+	if u.Scheme != "" && u.Scheme != "http" && u.Scheme != "https" {
+		return false
+	}
+	host := StripWWW(strings.ToLower(u.Hostname()))
+	if host == "" {
+		return false
+	}
+	if host == s.rootHost {
+		return true
+	}
+	return strings.HasSuffix(host, "."+s.rootHost)
+}
+
+// StripWWW removes a single leading "www." label from a hostname, the
+// special-case of Section 2.2 (many, but not all, sites prefix their web
+// server's domain name with it).
+func StripWWW(host string) string {
+	return strings.TrimPrefix(host, "www.")
+}
+
+// Normalize canonicalizes a possibly relative URL against base: resolves the
+// reference, lowercases scheme and host, strips fragments, and removes
+// default ports. It returns the empty string for unusable URLs (javascript:,
+// mailto:, data:, malformed).
+func Normalize(base *url.URL, ref string) string {
+	ref = strings.TrimSpace(ref)
+	if ref == "" {
+		return ""
+	}
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ""
+	}
+	if base != nil {
+		u = base.ResolveReference(u)
+	}
+	switch u.Scheme {
+	case "http", "https":
+	default:
+		return ""
+	}
+	u.Fragment = ""
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	if h, p, ok := strings.Cut(u.Host, ":"); ok {
+		if (u.Scheme == "http" && p == "80") || (u.Scheme == "https" && p == "443") {
+			u.Host = h
+		}
+	}
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	return u.String()
+}
+
+// Extension returns the lowercased file extension of the URL path, including
+// the leading dot, or "" when the path has none. Query strings and fragments
+// are ignored, matching how the extension blocklist of Section 3.4 is applied.
+func Extension(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	ext := path.Ext(u.Path)
+	if ext == "." {
+		return ""
+	}
+	return strings.ToLower(ext)
+}
+
+// Depth returns the number of non-empty path segments of the URL, a cheap
+// approximation of page depth used as a feature by the FOCUSED baseline.
+func Depth(raw string) int {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, seg := range strings.Split(u.Path, "/") {
+		if seg != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package webgraph
+
+import "math"
+
+// OptimalCrawlCost computes the exact minimum total cost of a crawl covering
+// all targets (Problem 3), by exhaustive search over node subsets. The
+// problem is NP-complete (Proposition 4), so this solver is only usable on
+// tiny graphs; it exists to validate heuristics and the hardness reduction.
+// It returns +Inf when some target is unreachable from the root. Graphs
+// larger than 30 nodes are rejected by panic — the caller must not even try.
+func OptimalCrawlCost(g *Graph) float64 {
+	n := g.Len()
+	if n > 30 {
+		panic("webgraph: exact solver limited to 30 nodes")
+	}
+	targets := g.Targets()
+	reach := g.Reachable()
+	for _, t := range targets {
+		if !reach[t] {
+			return math.Inf(1)
+		}
+	}
+	// Required nodes mask: root and all targets.
+	var required uint32 = 1 << uint(g.Root)
+	for _, t := range targets {
+		required |= 1 << uint(t)
+	}
+	best := math.Inf(1)
+	total := uint32(1) << uint(n)
+	for s := uint32(0); s < total; s++ {
+		if s&required != required {
+			continue
+		}
+		if !rConnected(g, s) {
+			continue
+		}
+		var cost float64
+		for u := 0; u < n; u++ {
+			if s&(1<<uint(u)) != 0 {
+				cost += g.Weight[u]
+			}
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// rConnected reports whether every node of the subset s is reachable from
+// the root using only nodes inside s — exactly the condition under which s
+// is the node set of some r-rooted subtree.
+func rConnected(g *Graph, s uint32) bool {
+	if s&(1<<uint(g.Root)) == 0 {
+		return false
+	}
+	var seen uint32 = 1 << uint(g.Root)
+	stack := []int{g.Root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Adj[u] {
+			bit := uint32(1) << uint(v)
+			if s&bit != 0 && seen&bit == 0 {
+				seen |= bit
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen == s
+}
+
+// SetCoverInstance is an instance of the classic Set Cover decision problem:
+// does a subcollection of at most B sets cover the universe {0,…,M−1}?
+type SetCoverInstance struct {
+	M    int     // universe size
+	Sets [][]int // each set lists covered universe elements
+}
+
+// ReduceSetCover builds the website graph G_sc of Proposition 4's proof:
+// a root r linked to one node per set, each set node linked to the universe
+// elements it contains; all weights 1; V* = universe nodes. A cover of size
+// ≤ B exists iff a crawl of cost ≤ M + B + 1 exists.
+//
+// Node layout: 0 = root, 1..len(Sets) = set nodes, then universe nodes.
+func ReduceSetCover(inst SetCoverInstance) *Graph {
+	n := 1 + len(inst.Sets) + inst.M
+	g := New(n, 0)
+	uniBase := 1 + len(inst.Sets)
+	for i, set := range inst.Sets {
+		setNode := 1 + i
+		g.AddEdge(0, setNode, "set")
+		for _, e := range set {
+			g.AddEdge(setNode, uniBase+e, "element")
+		}
+	}
+	for e := 0; e < inst.M; e++ {
+		g.Target[uniBase+e] = true
+	}
+	return g
+}
+
+// CrawlBudgetFor translates a Set Cover budget B into the crawl budget of
+// the reduction: |U| + B + 1.
+func (inst SetCoverInstance) CrawlBudgetFor(b int) float64 {
+	return float64(inst.M + b + 1)
+}
+
+// MinCoverSize solves Set Cover exactly by exhaustive search (for tests on
+// tiny instances). It returns the size of the smallest cover, or -1 when no
+// cover exists.
+func (inst SetCoverInstance) MinCoverSize() int {
+	full := (1 << uint(inst.M)) - 1
+	nSets := len(inst.Sets)
+	best := -1
+	for mask := 0; mask < 1<<uint(nSets); mask++ {
+		covered := 0
+		size := 0
+		for i := 0; i < nSets; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			size++
+			for _, e := range inst.Sets[i] {
+				covered |= 1 << uint(e)
+			}
+		}
+		if covered == full && (best < 0 || size < best) {
+			best = size
+		}
+	}
+	return best
+}

@@ -1,0 +1,272 @@
+// Package webgraph implements the formal model of Section 2 of the paper:
+// website graphs (Definition 1), crawls and their costs (Definition 2), the
+// graph crawling problem (Problem 3), an exact solver for small instances,
+// and the Set-Cover reduction proving NP-hardness (Proposition 4).
+package webgraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a rooted, node-weighted, edge-labeled directed graph modeling a
+// website: nodes are pages, edges are hyperlinks, the root is the crawl
+// start, Weight is the retrieval cost ω, and Labels carries the edge
+// labeling λ (tag paths in the crawler's instantiation).
+type Graph struct {
+	// Root is the index of the root node r.
+	Root int
+	// Adj[u] lists the successors of u.
+	Adj [][]int
+	// Labels[u][i] is λ of the edge (u, Adj[u][i]); may be nil when labels
+	// are irrelevant (e.g. complexity experiments).
+	Labels [][]string
+	// Weight[u] is the positive retrieval cost ω(u).
+	Weight []float64
+	// Target[u] reports membership in the target set V*.
+	Target []bool
+}
+
+// New creates a graph with n nodes, unit weights, and no edges.
+func New(n, root int) *Graph {
+	g := &Graph{
+		Root:   root,
+		Adj:    make([][]int, n),
+		Labels: make([][]string, n),
+		Weight: make([]float64, n),
+		Target: make([]bool, n),
+	}
+	for i := range g.Weight {
+		g.Weight[i] = 1
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Adj) }
+
+// AddEdge inserts the labeled edge (u, v).
+func (g *Graph) AddEdge(u, v int, label string) {
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Labels[u] = append(g.Labels[u], label)
+}
+
+// Targets returns the indices of V*.
+func (g *Graph) Targets() []int {
+	var out []int
+	for i, t := range g.Target {
+		if t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (g *Graph) Validate() error {
+	n := g.Len()
+	if g.Root < 0 || g.Root >= n {
+		return fmt.Errorf("webgraph: root %d out of range [0,%d)", g.Root, n)
+	}
+	if len(g.Weight) != n || len(g.Target) != n || len(g.Labels) != n {
+		return fmt.Errorf("webgraph: parallel slices disagree on length")
+	}
+	for u, succ := range g.Adj {
+		if g.Labels[u] != nil && len(g.Labels[u]) != len(succ) {
+			return fmt.Errorf("webgraph: node %d has %d edges but %d labels", u, len(succ), len(g.Labels[u]))
+		}
+		for _, v := range succ {
+			if v < 0 || v >= n {
+				return fmt.Errorf("webgraph: edge (%d,%d) out of range", u, v)
+			}
+		}
+	}
+	for u, w := range g.Weight {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("webgraph: node %d has non-positive weight %v", u, w)
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of nodes reachable from the root.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, g.Len())
+	stack := []int{g.Root}
+	seen[g.Root] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Depths returns the BFS depth of every node from the root (-1 when
+// unreachable); this is the "Target Depth" statistic of Table 1.
+func (g *Graph) Depths() []int {
+	d := make([]int, g.Len())
+	for i := range d {
+		d[i] = -1
+	}
+	d[g.Root] = 0
+	queue := []int{g.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}
+
+// Tree is a crawl: an r-rooted subtree of the website graph, stored as a
+// parent function. Parent[u] = -1 means u is not in the crawl; the root's
+// parent is itself.
+type Tree struct {
+	Root   int
+	Parent []int
+}
+
+// NewTree creates an empty crawl of a graph with n nodes rooted at root.
+func NewTree(n, root int) *Tree {
+	t := &Tree{Root: root, Parent: make([]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	t.Parent[root] = root
+	return t
+}
+
+// Contains reports whether u has been crawled.
+func (t *Tree) Contains(u int) bool { return t.Parent[u] >= 0 }
+
+// Add records that u was crawled by traversing the edge (parent, u). It
+// returns an error when parent is not itself in the tree, which would break
+// the subtree invariant of Definition 2.
+func (t *Tree) Add(u, parent int) error {
+	if !t.Contains(parent) {
+		return fmt.Errorf("webgraph: crawl edge (%d,%d) from uncrawled parent", parent, u)
+	}
+	if t.Contains(u) {
+		return fmt.Errorf("webgraph: node %d crawled twice", u)
+	}
+	t.Parent[u] = parent
+	return nil
+}
+
+// Nodes returns the crawled node set V'.
+func (t *Tree) Nodes() []int {
+	var out []int
+	for u, p := range t.Parent {
+		if p >= 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Cost returns ω(T) = Σ_{u∈V'} ω(u) under the graph's weights.
+func (t *Tree) Cost(g *Graph) float64 {
+	var c float64
+	for u, p := range t.Parent {
+		if p >= 0 {
+			c += g.Weight[u]
+		}
+	}
+	return c
+}
+
+// Covers reports whether the crawl contains all of V*.
+func (t *Tree) Covers(g *Graph) bool {
+	for u, isT := range g.Target {
+		if isT && !t.Contains(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the tree is a genuine r-rooted subtree of g: every
+// crawled non-root node has a crawled parent linked by a real edge, and
+// parent pointers are acyclic.
+func (t *Tree) Validate(g *Graph) error {
+	if t.Root != g.Root {
+		return fmt.Errorf("webgraph: tree root %d differs from graph root %d", t.Root, g.Root)
+	}
+	for u, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		if u == t.Root {
+			if p != u {
+				return fmt.Errorf("webgraph: root parent must be itself")
+			}
+			continue
+		}
+		if !t.Contains(p) {
+			return fmt.Errorf("webgraph: node %d has uncrawled parent %d", u, p)
+		}
+		if !hasEdge(g, p, u) {
+			return fmt.Errorf("webgraph: crawl uses nonexistent edge (%d,%d)", p, u)
+		}
+	}
+	// Acyclicity: walking parents from any node must reach the root within
+	// n steps.
+	n := len(t.Parent)
+	for u, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		cur := u
+		for steps := 0; cur != t.Root; steps++ {
+			if steps > n {
+				return fmt.Errorf("webgraph: parent cycle at node %d", u)
+			}
+			cur = t.Parent[cur]
+		}
+	}
+	return nil
+}
+
+func hasEdge(g *Graph, u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Frontier returns the crawl frontier: nodes not in V' pointed to by nodes
+// in V' (the definition illustrated in Figure 1).
+func (t *Tree) Frontier(g *Graph) []int {
+	inFrontier := make([]bool, g.Len())
+	for u, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if !t.Contains(v) {
+				inFrontier[v] = true
+			}
+		}
+	}
+	var out []int
+	for v, in := range inFrontier {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}

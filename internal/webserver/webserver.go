@@ -1,0 +1,151 @@
+// Package webserver exposes a generated sitegen.Site through HTTP semantics:
+// GET/HEAD with statuses, Content-Type, Location headers, and bodies. It
+// serves both the in-memory path used by experiments and a net/http.Handler
+// so the same site can be crawled over a real socket (examples/live_http).
+package webserver
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"sbcrawl/internal/sitegen"
+)
+
+// Response is one HTTP exchange as the crawler sees it.
+type Response struct {
+	// URL is the requested URL (the server never follows redirects;
+	// following is the crawler's job, per Algorithm 4).
+	URL string
+	// Status is the HTTP status code.
+	Status int
+	// MIME is the Content-Type (empty when the server sends none).
+	MIME string
+	// Location is the redirect destination for 3xx responses.
+	Location string
+	// Body is the response body; nil for HEAD requests and errors.
+	Body []byte
+	// ContentLength is the body size the server advertises, present even
+	// for HEAD responses.
+	ContentLength int
+}
+
+// HeaderOverheadBytes approximates the on-wire size of response headers; it
+// is the c(u) cost of a HEAD request when ω measures volume (Sec. 2.2).
+const HeaderOverheadBytes = 220
+
+// Server serves a generated site.
+type Server struct {
+	site *sitegen.Site
+	// trap enables the infinite /calendar/ URL space (see trap.go).
+	trap bool
+}
+
+// New wraps a site.
+func New(site *sitegen.Site) *Server { return &Server{site: site} }
+
+// Site returns the underlying ground truth (for oracles and metrics only —
+// crawlers must not touch it).
+func (s *Server) Site() *sitegen.Site { return s.site }
+
+// Get performs an HTTP GET.
+func (s *Server) Get(url string) Response {
+	resp := s.respond(url)
+	return resp
+}
+
+// Head performs an HTTP HEAD: same status line and headers, no body.
+func (s *Server) Head(url string) Response {
+	resp := s.respond(url)
+	resp.Body = nil
+	return resp
+}
+
+func (s *Server) respond(url string) Response {
+	if n, ok := s.trapURL(url); ok {
+		return s.trapPage(url, n)
+	}
+	pg, ok := s.site.Lookup(url)
+	if !ok {
+		return Response{URL: url, Status: 404}
+	}
+	switch pg.Kind {
+	case sitegen.KindError:
+		return Response{URL: url, Status: pg.Status}
+	case sitegen.KindRedirect:
+		return Response{
+			URL: url, Status: pg.Status,
+			Location: s.site.PageByID(pg.RedirectTo).URL,
+		}
+	case sitegen.KindHTML:
+		body := s.site.RenderPage(pg)
+		if s.trap && pg.ID == 0 {
+			body = injectTrapEntry(body)
+		}
+		return Response{
+			URL: url, Status: 200, MIME: "text/html; charset=utf-8",
+			Body: body, ContentLength: len(body),
+		}
+	case sitegen.KindTarget:
+		body := s.site.RenderPage(pg)
+		return Response{
+			URL: url, Status: 200, MIME: pg.MIME,
+			Body: body, ContentLength: len(body),
+		}
+	}
+	return Response{URL: url, Status: 500}
+}
+
+// Handler returns an http.Handler serving the site over a real socket. URLs
+// are matched by path (the site's host is replaced by the listener's), which
+// lets examples crawl https://www.X.gov content from 127.0.0.1.
+func (s *Server) Handler() http.Handler {
+	// Index pages by path for host-independent lookup.
+	byPath := make(map[string]*sitegen.Page)
+	prefix := "https://" + s.site.Profile.Host
+	for _, pg := range s.site.Pages() {
+		byPath[strings.TrimPrefix(pg.URL, prefix)] = pg
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if r.URL.RawQuery != "" {
+			path += "?" + r.URL.RawQuery
+		}
+		pg, ok := byPath[path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		switch pg.Kind {
+		case sitegen.KindError:
+			w.WriteHeader(pg.Status)
+		case sitegen.KindRedirect:
+			dest := s.site.PageByID(pg.RedirectTo).URL
+			w.Header().Set("Location", strings.TrimPrefix(dest, prefix))
+			w.WriteHeader(pg.Status)
+		default:
+			body := s.site.RenderPage(pg)
+			mime := pg.MIME
+			if pg.Kind == sitegen.KindHTML {
+				mime = "text/html; charset=utf-8"
+				// Rewrite absolute same-site URLs to relative paths so the
+				// whole site stays in scope when served from 127.0.0.1.
+				body = bytes.ReplaceAll(body, []byte(prefix), nil)
+			}
+			w.Header().Set("Content-Type", mime)
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			if r.Method != http.MethodHead {
+				if _, err := w.Write(body); err != nil {
+					return
+				}
+			}
+		}
+	})
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("webserver(%s, %d pages)", s.site.Profile.Code, len(s.site.Pages()))
+}

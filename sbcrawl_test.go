@@ -1,0 +1,187 @@
+package sbcrawl
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateSiteAndCrawlSite(t *testing.T) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Code() != "cl" || site.Name() == "" {
+		t.Errorf("site identity: %q %q", site.Code(), site.Name())
+	}
+	if site.TargetCount() == 0 || site.PageCount() == 0 {
+		t.Fatal("empty site generated")
+	}
+	res, err := CrawlSite(site, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "SB-CLASSIFIER" {
+		t.Errorf("default strategy = %q", res.Strategy)
+	}
+	if len(res.Targets) != site.TargetCount() {
+		t.Errorf("unbounded crawl found %d/%d targets", len(res.Targets), site.TargetCount())
+	}
+	if len(res.Curve) == 0 {
+		t.Error("result must carry a progress curve")
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.Requests != res.Requests || last.Targets != len(res.Targets) {
+		t.Errorf("curve end %+v inconsistent with result %d/%d",
+			last, res.Requests, len(res.Targets))
+	}
+}
+
+func TestAllStrategiesOnSimulatedSite(t *testing.T) {
+	site, err := GenerateSite("cn", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{
+		StrategySB, StrategySBOracle, StrategyBFS, StrategyDFS, StrategyRandom,
+		StrategyFocused, StrategyTPOff, StrategyTRES, StrategyOmniscient,
+	} {
+		res, err := CrawlSite(site, Config{Strategy: s, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Requests == 0 {
+			t.Errorf("%s: no requests", s)
+		}
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	site, _ := GenerateSite("cl", 0.01, 1)
+	if _, err := CrawlSite(site, Config{Strategy: "quantum"}); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestUnknownSiteCode(t *testing.T) {
+	if _, err := GenerateSite("zz", 0.01, 1); err == nil {
+		t.Error("unknown site code must error")
+	}
+}
+
+func TestSiteCodes(t *testing.T) {
+	codes := SiteCodes()
+	if len(codes) != 18 {
+		t.Errorf("SiteCodes has %d entries, want 18", len(codes))
+	}
+}
+
+func TestCrawlRequiresRoot(t *testing.T) {
+	if _, err := Crawl(Config{}); err == nil {
+		t.Error("Crawl without Root must error")
+	}
+}
+
+func TestCrawlRejectsOracleStrategies(t *testing.T) {
+	for _, s := range []Strategy{StrategySBOracle, StrategyTPOff, StrategyTRES, StrategyOmniscient} {
+		if _, err := Crawl(Config{Root: "https://x.org/", Strategy: s}); err == nil {
+			t.Errorf("live Crawl must reject oracle strategy %s", s)
+		}
+	}
+}
+
+func TestCrawlOverLiveHTTP(t *testing.T) {
+	// The full production path: a generated site served over a real socket,
+	// crawled with the HTTP fetcher (politeness shrunk for the test).
+	site, err := GenerateSite("cl", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(site.Handler())
+	defer ts.Close()
+
+	res, err := Crawl(Config{
+		Root:        ts.URL + "/",
+		MaxRequests: 2000,
+		Politeness:  time.Microsecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Targets) == 0 {
+		t.Fatal("live crawl found no targets")
+	}
+	// A decent share of the site's targets should be retrieved within the
+	// budget; recall depends on the politeness-free test budget.
+	if len(res.Targets) < site.TargetCount()/2 {
+		t.Errorf("live crawl found %d/%d targets", len(res.Targets), site.TargetCount())
+	}
+	for _, u := range res.Targets {
+		if !strings.HasPrefix(u, "http://127.0.0.1") {
+			t.Errorf("target URL %q not from the test server", u)
+		}
+	}
+}
+
+func TestCustomTargetMIMEs(t *testing.T) {
+	// Generality claim of Sec. 2.2: any MIME set defines the targets.
+	site, err := GenerateSite("be", 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := CrawlSite(site, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvOnly, err := CrawlSite(site, Config{Seed: 3, TargetMIMEs: []string{"text/csv"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csvOnly.Targets) == 0 {
+		t.Fatal("no CSV targets found")
+	}
+	if len(csvOnly.Targets) >= len(all.Targets) {
+		t.Errorf("CSV-only crawl returned %d targets, full set %d",
+			len(csvOnly.Targets), len(all.Targets))
+	}
+	for _, u := range csvOnly.Targets {
+		if !strings.Contains(u, ".csv") && !strings.Contains(u, "/node/") && !strings.Contains(u, "/download/") {
+			t.Errorf("non-CSV-looking target %q", u)
+		}
+	}
+}
+
+func TestEarlyStopOption(t *testing.T) {
+	site, err := GenerateSite("ok", 0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CrawlSite(site, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := CrawlSite(site, Config{Seed: 1, EarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped.Requests > full.Requests {
+		t.Errorf("early-stop run used more requests (%d) than full (%d)",
+			stopped.Requests, full.Requests)
+	}
+}
+
+func TestBudgetedCrawl(t *testing.T) {
+	site, err := GenerateSite("nc", 0.005, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrawlSite(site, Config{MaxRequests: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests > 50 {
+		t.Errorf("budget violated: %d requests", res.Requests)
+	}
+}

@@ -1,0 +1,100 @@
+package sbcrawl
+
+import (
+	"fmt"
+	"net/http"
+
+	"sbcrawl/internal/classify"
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/sitegen"
+	"sbcrawl/internal/webserver"
+)
+
+// Site is a deterministic synthetic website mirroring one of the paper's 18
+// evaluation websites (see SiteCodes). It can be crawled in memory through
+// CrawlSite, or served over real HTTP via Handler.
+type Site struct {
+	site   *sitegen.Site
+	server *webserver.Server
+}
+
+// SiteCodes lists the available site profiles (Table 1 of the paper):
+// ab, as, be, ce, cl, cn, ed, il, in, is, jp, ju, nc, oe, ok, qa, wh, wo.
+func SiteCodes() []string {
+	out := make([]string, 0, len(sitegen.Profiles))
+	for _, p := range sitegen.Profiles {
+		out = append(out, p.Code)
+	}
+	return out
+}
+
+// GenerateSite builds the synthetic website for one of the paper's site
+// codes. scale multiplies the real site's page count (e.g. 0.01 turns the
+// 56k-page justice.gouv.fr profile into ~566 pages); seed fixes all
+// randomness.
+func GenerateSite(code string, scale float64, seed int64) (*Site, error) {
+	profile, ok := sitegen.ProfileByCode(code)
+	if !ok {
+		return nil, fmt.Errorf("sbcrawl: unknown site code %q (see SiteCodes)", code)
+	}
+	site := sitegen.Generate(sitegen.Config{Profile: profile, Scale: scale, Seed: seed})
+	return &Site{site: site, server: webserver.New(site)}, nil
+}
+
+// Root returns the site's start URL.
+func (s *Site) Root() string { return s.site.Root() }
+
+// Code returns the site's profile code.
+func (s *Site) Code() string { return s.site.Profile.Code }
+
+// Name returns the mirrored organization's name.
+func (s *Site) Name() string { return s.site.Profile.Name }
+
+// TargetCount returns the number of target files the site holds — the
+// ground truth a crawl's recall is judged against.
+func (s *Site) TargetCount() int { return len(s.site.TargetURLs()) }
+
+// PageCount returns the number of available (2xx) pages.
+func (s *Site) PageCount() int {
+	st := s.site.ComputeStats()
+	return st.Available
+}
+
+// Handler serves the site over HTTP, for crawling through the live network
+// stack (see examples/live_http).
+func (s *Site) Handler() http.Handler { return s.server.Handler() }
+
+// CrawlSite runs any strategy against a simulated site, in memory, with all
+// ground truth wired for the oracle strategies. cfg.Root is ignored.
+func CrawlSite(site *Site, cfg Config) (*Result, error) {
+	env := &core.Env{
+		Root:        site.site.Root(),
+		Fetcher:     fetch.NewSim(site.server),
+		MaxRequests: cfg.MaxRequests,
+		OracleClass: func(u string) int {
+			pg, ok := site.site.Lookup(u)
+			if !ok {
+				return classify.ClassNeither
+			}
+			switch pg.Kind {
+			case sitegen.KindHTML:
+				return classify.ClassHTML
+			case sitegen.KindTarget:
+				return classify.ClassTarget
+			default:
+				return classify.ClassNeither
+			}
+		},
+		OracleBenefit: func(u string) int {
+			pg, ok := site.site.Lookup(u)
+			if !ok {
+				return 0
+			}
+			return len(pg.DatasetLinks)
+		},
+		OracleTargets: site.site.TargetURLs(),
+	}
+	st := site.site.ComputeStats()
+	return runCrawl(cfg, env, st.Available)
+}

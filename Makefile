@@ -1,0 +1,29 @@
+# Developer and CI entry points. `make ci` is the tier-1 verification gate:
+# vet, the full test suite, and the same suite under the race detector
+# (the fleet orchestrator runs crawls concurrently — race-clean is a hard
+# requirement, see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench fleet-bench
+
+ci: vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The sequential-vs-parallel fleet speedup tracked in the perf trajectory.
+fleet-bench:
+	$(GO) test -run '^$$' -bench BenchmarkFleetParallel -benchtime 3x .

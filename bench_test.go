@@ -7,8 +7,10 @@ package sbcrawl
 // experiments at arbitrary scales and prints the paper-style reports.
 
 import (
+	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"sbcrawl/internal/experiments"
 )
@@ -148,6 +150,38 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 // (DESIGN.md §7).
 func BenchmarkExtensionRevisit(b *testing.B) {
 	runExperiment(b, "ext-revisit", benchConfig("nc"))
+}
+
+// BenchmarkFleetParallel compares sequential against parallel fleet crawls
+// of 8 generated sites through CrawlMany's simulated twin. A small
+// per-request latency models network round-trip time, the resource a real
+// fleet overlaps; the workers=8 case should run several times faster than
+// workers=1 (the speedup the perf trajectory tracks).
+func BenchmarkFleetParallel(b *testing.B) {
+	codes := []string{"ab", "as", "be", "ce", "cl", "cn", "ed", "qa"}
+	sites := make([]*Site, len(codes))
+	for i, code := range codes {
+		site, err := GenerateSite(code, 0.0005, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites[i] = site
+	}
+	cfg := Config{Seed: 1, MaxRequests: 60, SimLatency: time.Millisecond}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := CrawlSites(sites, cfg, FleetOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed > 0 {
+					b.Fatalf("%d sites failed", res.Failed)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQuickstartCrawl measures the end-to-end public-API crawl the

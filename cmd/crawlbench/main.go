@@ -7,6 +7,7 @@
 //	crawlbench -exp table2 -scale 0.002 -runs 3
 //	crawlbench -exp fig4 -sites ce,ju -csv out/
 //	crawlbench -exp all
+//	crawlbench -exp table2 -parallel 0    (fan sites out across all cores)
 //
 // Scale 0.002 shrinks every site to 1/500 of its paper size; shapes (who
 // wins, by what factor) are preserved, absolute counts are not.
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sbcrawl/internal/experiments"
@@ -31,8 +33,12 @@ func main() {
 		sites    = flag.String("sites", "", "comma-separated site codes (default: experiment's own)")
 		maxPages = flag.Int("maxpages", 0, "cap per-site page count (0 = none)")
 		csvDir   = flag.String("csv", "", "directory for figure CSV series")
+		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
 	)
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments (paper artifact → report):")
@@ -50,6 +56,7 @@ func main() {
 		Seed:     *seed,
 		Runs:     *runs,
 		MaxPages: *maxPages,
+		Workers:  *parallel,
 		CSVDir:   *csvDir,
 		Out:      os.Stdout,
 	}

@@ -1,0 +1,159 @@
+package sbcrawl
+
+// This file is the public face of the multi-site orchestrator: CrawlMany
+// fans live crawls out over a worker pool, CrawlSites does the same for
+// simulated batches. Per-site results are byte-identical whatever the
+// worker count, failures are isolated per site, and live crawls coordinate
+// politeness through the process-wide per-host rate limiter.
+
+import (
+	"context"
+	"fmt"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fleet"
+	"sbcrawl/internal/metrics"
+	"sbcrawl/internal/urlutil"
+)
+
+// FleetOptions configures a multi-site crawl.
+type FleetOptions struct {
+	// Workers is the number of crawls running concurrently (0 → one per
+	// CPU core). Results do not depend on it.
+	Workers int
+	// Ctx cancels the fleet: crawls not yet started are skipped with the
+	// context's error, and running crawls stop at their next request,
+	// contributing their partial results.
+	Ctx context.Context
+}
+
+// SiteOutcome is one crawl of a fleet, in input order.
+type SiteOutcome struct {
+	// Index is the crawl's position in the input slice.
+	Index int
+	// Label identifies the site: the Config.Root for CrawlMany, the site
+	// code for CrawlSites.
+	Label string
+	// Result is the finished crawl (partial when cancelled mid-flight);
+	// nil when the crawl failed to start.
+	Result *Result
+	// Err reports a failed or skipped crawl; nil on success.
+	Err error
+}
+
+// FleetResult aggregates a multi-site crawl.
+type FleetResult struct {
+	// Sites holds one outcome per requested crawl, in input order.
+	Sites []SiteOutcome
+	// Completed and Failed partition the crawls.
+	Completed, Failed int
+	// Totals over every crawl that produced a result.
+	Targets        int
+	Requests       int
+	TargetBytes    int64
+	NonTargetBytes int64
+	// Curve merges the per-site progress curves position-wise: point i
+	// sums every site's cumulative state after its own i-th request, with
+	// finished crawls carrying their final values forward.
+	Curve []CurvePoint
+}
+
+// CrawlMany runs one live crawl per Config concurrently, one site per
+// worker slot (see Crawl for single-site semantics). A bad entry — missing
+// Root, oracle strategy, unreachable site — fails only its own slot; the
+// rest of the batch completes and the error is reported in its
+// SiteOutcome. The only error CrawlMany itself returns is an empty batch
+// or the context's error after cancellation (alongside the partial
+// result).
+//
+// All live crawls share the process-wide per-host rate limiter, so two
+// entries pointing at the same host stay MinDelay apart even while
+// crawling in parallel.
+func CrawlMany(cfgs []Config, opts FleetOptions) (*FleetResult, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sbcrawl: CrawlMany needs at least one Config")
+	}
+	jobs := make([]fleet.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg)}
+	}
+	return runFleet(jobs, opts)
+}
+
+// liveJob builds the per-site closure running one live crawl, through the
+// same validation and wiring as Crawl (see liveEnv).
+func liveJob(cfg Config) func(ctx context.Context) (*core.Result, error) {
+	return func(ctx context.Context) (*core.Result, error) {
+		env, err := liveEnv(cfg, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return runFleetCrawl(cfg, env, 0)
+	}
+}
+
+// CrawlSites crawls every simulated site concurrently with the shared
+// Config. Each site receives its own deterministic seed derived from
+// (cfg.Seed, index), so a fleet over N sites is reproducible end to end
+// and byte-identical whatever the worker count; run sites with individual
+// Configs through sequential CrawlSite calls if per-site settings are
+// needed.
+func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("sbcrawl: CrawlSites needs at least one Site")
+	}
+	jobs := make([]fleet.Job, len(sites))
+	for i, site := range sites {
+		siteCfg := cfg
+		siteCfg.Seed = fleet.DeriveSeed(cfg.Seed, i)
+		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg)}
+	}
+	return runFleet(jobs, opts)
+}
+
+// simJob builds the per-site closure running one simulated crawl.
+func simJob(site *Site, cfg Config) func(ctx context.Context) (*core.Result, error) {
+	return func(ctx context.Context) (*core.Result, error) {
+		env := siteCrawlEnv(site, cfg)
+		env.Ctx = ctx
+		return runFleetCrawl(cfg, env, site.PageCount())
+	}
+}
+
+// runFleetCrawl is runCrawl without the public-type conversion: fleet
+// aggregation wants the internal result, and conversion happens once per
+// site in runFleet.
+func runFleetCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, error) {
+	if len(cfg.TargetMIMEs) > 0 {
+		env.TargetMIMEs = urlutil.NewMIMESet(cfg.TargetMIMEs)
+	}
+	crawler, err := buildCrawler(cfg, sitePages)
+	if err != nil {
+		return nil, err
+	}
+	return crawler.Run(env)
+}
+
+// runFleet executes the jobs and converts the summary to the public type.
+func runFleet(jobs []fleet.Job, opts FleetOptions) (*FleetResult, error) {
+	sum, err := fleet.Run(jobs, fleet.Options{Workers: opts.Workers, Ctx: opts.Ctx})
+	out := &FleetResult{
+		Sites:          make([]SiteOutcome, len(sum.Sites)),
+		Completed:      sum.Completed,
+		Failed:         sum.Failed,
+		Targets:        sum.Targets,
+		Requests:       sum.Requests,
+		TargetBytes:    sum.TargetBytes,
+		NonTargetBytes: sum.NonTargetBytes,
+	}
+	for i, s := range sum.Sites {
+		out.Sites[i] = SiteOutcome{Index: s.Index, Label: s.Label, Err: s.Err}
+		if s.Result != nil {
+			out.Sites[i].Result = convertResult(s.Result)
+		}
+	}
+	for _, pt := range metrics.Curve(sum.Trace, 500) {
+		out.Curve = append(out.Curve, CurvePoint(pt))
+	}
+	return out, err
+}

@@ -1,0 +1,3 @@
+module sbcrawl
+
+go 1.24

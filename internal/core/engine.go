@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 
@@ -19,6 +20,12 @@ import (
 // Env is everything a crawler needs to run against one website. The same
 // Env drives simulated and live crawls; oracles are optional hooks the
 // privileged crawlers use.
+//
+// An Env belongs to one running crawl at a time (its Fetcher carries
+// per-crawl state such as the replay database). A fleet of concurrent
+// crawls builds one Env per site; only read-only substrate — the generated
+// site, its webserver, a shared fetch.HostLimiter — may be shared across
+// Envs.
 type Env struct {
 	// Root is the start URL r.
 	Root string
@@ -29,6 +36,11 @@ type Env struct {
 	TargetMIMEs urlutil.MIMESet
 	// MaxRequests is the crawl budget B in HTTP requests (0 = unlimited).
 	MaxRequests int
+	// Ctx, when non-nil, cancels the crawl: once done, the engine stops
+	// issuing requests and the crawler winds down through the same
+	// graceful path as budget exhaustion, returning its partial result.
+	// Fleet orchestration uses this for mid-batch cancellation.
+	Ctx context.Context
 
 	// OracleClass maps a URL to its true class (classify.Class*); used by
 	// SB-ORACLE and TRES. Nil for realistic crawlers.
@@ -132,8 +144,16 @@ func newEngine(env *Env) (*engine, error) {
 	}, nil
 }
 
-// budgetLeft reports whether another request may be issued.
+// budgetLeft reports whether another request may be issued: the budget has
+// room and the crawl's context (if any) is still live.
 func (e *engine) budgetLeft() bool {
+	if e.env.Ctx != nil {
+		select {
+		case <-e.env.Ctx.Done():
+			return false
+		default:
+		}
+	}
 	return e.env.MaxRequests <= 0 || e.meter.Requests < e.env.MaxRequests
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -202,5 +203,30 @@ func TestTraceVolumeSplit(t *testing.T) {
 	}
 	if eng.targetBytes > eng.nonTargetBytes {
 		t.Error("1000B page vs 500B file: split looks inverted")
+	}
+}
+
+func TestCancelledContextStopsFetching(t *testing.T) {
+	f := &scriptedFetcher{responses: map[string]fetch.Response{
+		"https://site.org/": htmlResp("https://site.org/",
+			`<a href="/a">a</a><a href="/b">b</a>`),
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	eng, err := newEngine(&Env{Root: "https://site.org/", Fetcher: f, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg := eng.fetchPage("https://site.org/"); pg.Truncated {
+		t.Fatal("live context must not truncate")
+	}
+	cancel()
+	if pg := eng.fetchPage("https://site.org/a"); !pg.Truncated {
+		t.Error("cancelled context must truncate like budget exhaustion")
+	}
+	if len(f.gets) != 1 {
+		t.Errorf("issued %d requests after cancel, want 1 total", len(f.gets))
+	}
+	if eng.budgetLeft() {
+		t.Error("budgetLeft must report false after cancellation")
 	}
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"sbcrawl/internal/classify"
 	"sbcrawl/internal/core"
 	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/fleet"
 	"sbcrawl/internal/metrics"
 	"sbcrawl/internal/sitegen"
 	"sbcrawl/internal/webserver"
@@ -34,6 +36,11 @@ type Config struct {
 	Sites []string
 	// MaxPages caps per-site page counts (0 = none).
 	MaxPages int
+	// Workers is the number of sites processed concurrently (values < 1
+	// mean the sequential default of 1). Reports are identical whatever
+	// the value: per-site work is independent and results are assembled
+	// in site order.
+	Workers int
 	// Out receives the report (default os.Stdout).
 	Out io.Writer
 	// CSVDir, when set, receives figure series as CSV files.
@@ -53,7 +60,30 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
 	return c
+}
+
+// forEachSite fans work out over the site codes with cfg.Workers concurrent
+// workers, failing fast on the first error. Result i belongs to codes[i],
+// so callers print reports in site order and the output is byte-identical
+// whatever the worker count.
+func forEachSite[T any](cfg Config, codes []string, work func(code string) (T, error)) ([]T, error) {
+	out := make([]T, len(codes))
+	err := fleet.Do(context.Background(), cfg.Workers, len(codes), func(i int) error {
+		v, err := work(codes[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Experiment reproduces one paper artifact.

@@ -271,3 +271,43 @@ func TestFmtPct(t *testing.T) {
 		t.Errorf("fmtPct(12.34) = %q", fmtPct(12.34))
 	}
 }
+
+// TestParallelWorkersPreserveReports pins the Workers contract: fanning the
+// per-site work of an experiment across a worker pool must produce
+// byte-identical reports, whatever the worker count.
+func TestParallelWorkersPreserveReports(t *testing.T) {
+	for _, id := range []string{"table2", "table6", "earlystop", "fig4"} {
+		exp, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		var sequential, parallel bytes.Buffer
+		cfg := tinyConfig(&sequential)
+		cfg.Sites = []string{"cl", "cn", "qa"}
+		if err := exp.Run(cfg); err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		cfg.Out = &parallel
+		cfg.Workers = 4
+		if err := exp.Run(cfg); err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if sequential.String() != parallel.String() {
+			t.Errorf("%s: Workers=4 report differs from sequential", id)
+		}
+	}
+}
+
+func TestForEachSiteFailsFast(t *testing.T) {
+	cfg := tinyConfig(&bytes.Buffer{}).withDefaults()
+	cfg.Workers = 4
+	_, err := forEachSite(cfg, []string{"cl", "bogus", "cn"}, func(code string) (int, error) {
+		if _, err := buildSite(cfg, code); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("err = %v, want the unknown-site failure", err)
+	}
+}

@@ -20,23 +20,27 @@ import (
 func RunFigure4(cfg Config) error {
 	cfg = cfg.withDefaults()
 	sites := sitesOrDefault(cfg, sitegen.Figure4Codes)
-	for _, code := range sites {
+	// Each site's work renders its whole report block (and writes its CSV,
+	// a per-site file) before returning, so only the final strings are
+	// retained across the fan-out — not the sites, caches, or traces.
+	blocks, err := forEachSite(cfg, sites, func(code string) (string, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return "", err
 		}
 		cells, err := runMatrix(cfg, se)
 		if err != nil {
-			return err
+			return "", err
 		}
 		if cfg.CSVDir != "" {
 			if err := writeCurveCSV(cfg, code, cells); err != nil {
-				return err
+				return "", err
 			}
 		}
-		fmt.Fprintf(cfg.Out, "Figure 4 — %s (%d available pages, %d targets)\n",
+		var b strings.Builder
+		fmt.Fprintf(&b, "Figure 4 — %s (%d available pages, %d targets)\n",
 			code, se.totals.AvailablePages, se.totals.Targets)
-		fmt.Fprintf(cfg.Out, "%-14s %22s %22s\n", "crawler",
+		fmt.Fprintf(&b, "%-14s %22s %22s\n", "crawler",
 			"targets @ 25/50/100% req", "tgtGB|ntGB @ end")
 		for _, name := range CrawlerOrder {
 			cell, ok := cells[name]
@@ -55,11 +59,18 @@ func RunFigure4(cfg Config) error {
 				}
 				return tr.Targets[i]
 			}
-			fmt.Fprintf(cfg.Out, "%-14s %7d/%6d/%6d %12.3f|%.3f\n",
+			fmt.Fprintf(&b, "%-14s %7d/%6d/%6d %12.3f|%.3f\n",
 				name, q(0.25), q(0.5), q(0.9999),
 				float64(tr.TargetBytes[n-1])/1e9, float64(tr.NonTargetBytes[n-1])/1e9)
 		}
-		fmt.Fprintln(cfg.Out)
+		fmt.Fprintln(&b)
+		return b.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, block := range blocks {
+		fmt.Fprint(cfg.Out, block)
 	}
 	return nil
 }
@@ -92,16 +103,22 @@ func RunFigure5(cfg Config) error {
 	sites := sitesOrDefault(cfg, sitegen.Figure4Codes)
 	fmt.Fprintf(cfg.Out, "Figure 5 — mean rewards of the top-10 tag-path groups\n")
 	fmt.Fprintf(cfg.Out, "%-4s %s\n", "site", "top-10 group mean rewards (desc)")
-	for _, code := range sites {
+	stats, err := forEachSite(cfg, sites, func(code string) (metrics.RewardStats, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return metrics.RewardStats{}, err
 		}
 		res, err := core.NewSB(core.SBConfig{Seed: cfg.Seed}).Run(se.env)
 		if err != nil {
-			return err
+			return metrics.RewardStats{}, err
 		}
-		st := metrics.ComputeRewardStats(res.Actions, 10)
+		return metrics.ComputeRewardStats(res.Actions, 10), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, code := range sites {
+		st := stats[i]
 		cells := make([]string, len(st.Top))
 		for i, v := range st.Top {
 			cells[i] = fmt.Sprintf("%.1f", v)
@@ -200,13 +217,15 @@ func RunAblationPolicy(cfg Config) error {
 		fmt.Fprintf(cfg.Out, " %6s", code)
 	}
 	fmt.Fprintln(cfg.Out)
+	ses, err := forEachSite(cfg, sites, func(code string) (*siteEnv, error) {
+		return buildSite(cfg, code)
+	})
+	if err != nil {
+		return err
+	}
 	envs := map[string]*siteEnv{}
-	for _, code := range sites {
-		se, err := buildSite(cfg, code)
-		if err != nil {
-			return err
-		}
-		envs[code] = se
+	for i, code := range sites {
+		envs[code] = ses[i]
 	}
 	for _, p := range policies {
 		fmt.Fprintf(cfg.Out, "%-12s", p.label)
@@ -278,13 +297,15 @@ func runSBVariantAblation(cfg Config, title string, labels []string,
 		fmt.Fprintf(cfg.Out, " %6s", code)
 	}
 	fmt.Fprintln(cfg.Out)
+	ses, err := forEachSite(cfg, sites, func(code string) (*siteEnv, error) {
+		return buildSite(cfg, code)
+	})
+	if err != nil {
+		return err
+	}
 	envs := map[string]*siteEnv{}
-	for _, code := range sites {
-		se, err := buildSite(cfg, code)
-		if err != nil {
-			return err
-		}
-		envs[code] = se
+	for i, code := range sites {
+		envs[code] = ses[i]
 	}
 	for i, label := range labels {
 		fmt.Fprintf(cfg.Out, "%-12s", label)

@@ -16,20 +16,27 @@ func RunTable1(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "Table 1 — website characteristics (scale %.4g)\n", cfg.Scale)
 	fmt.Fprintf(cfg.Out, "%-4s %-5s %-5s %9s %9s %10s %14s %14s\n",
 		"site", "Mlg.", "F.C.", "#Avail", "#Target", "HTMLtoT(%)", "TgtSize(KB)", "TgtDepth")
-	for _, code := range sitesOrDefault(cfg, allCodes()) {
+	sites := sitesOrDefault(cfg, allCodes())
+	rows, err := forEachSite(cfg, sites, func(code string) (string, error) {
 		p, ok := sitegen.ProfileByCode(code)
 		if !ok {
-			return fmt.Errorf("unknown site %q", code)
+			return "", fmt.Errorf("unknown site %q", code)
 		}
 		site := sitegen.Generate(sitegen.Config{
 			Profile: p, Scale: cfg.Scale, Seed: cfg.Seed, MaxPages: cfg.MaxPages,
 		})
 		st := site.ComputeStats()
-		fmt.Fprintf(cfg.Out, "%-4s %-5s %-5s %9d %9d %10.2f %7.1f(±%.1f) %7.2f(±%.2f)\n",
+		return fmt.Sprintf("%-4s %-5s %-5s %9d %9d %10.2f %7.1f(±%.1f) %7.2f(±%.2f)\n",
 			code, checkmark(p.Multilingual), checkmark(p.FullyCrawled),
 			st.Available, st.Targets, st.HTMLToTargetPct,
 			st.TargetSizeMean/1024, st.TargetSizeStd/1024,
-			st.TargetDepthMean, st.TargetDepthStd)
+			st.TargetDepthMean, st.TargetDepthStd), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprint(cfg.Out, row)
 	}
 	return nil
 }
@@ -60,31 +67,47 @@ func RunTable3(cfg Config) error {
 
 func runMetricTable(cfg Config, title string, metric func(*matrixCell) float64, earlyStop bool) error {
 	sites := sitesOrDefault(cfg, allCodes())
-	rows := make(map[string]map[string]float64) // crawler → site → value
-	saved := map[string]float64{}
-	lost := map[string]float64{}
-	for _, code := range sites {
+	// Work returns only the extracted metric values so the generated site,
+	// replay cache, and traces are released as each site finishes.
+	type siteCells struct {
+		row         map[string]float64 // crawler → metric value
+		saved, lost float64
+	}
+	perSite, err := forEachSite(cfg, sites, func(code string) (siteCells, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return siteCells{}, err
 		}
 		cells, err := runMatrix(cfg, se)
 		if err != nil {
-			return err
+			return siteCells{}, err
 		}
+		sc := siteCells{row: make(map[string]float64, len(cells))}
 		for name, cell := range cells {
+			sc.row[name] = metric(cell)
+		}
+		if earlyStop {
+			sc.saved, sc.lost, err = earlyStopNumbers(cfg, se, cells["SB-CLASSIFIER"])
+			if err != nil {
+				return siteCells{}, err
+			}
+		}
+		return sc, nil
+	})
+	if err != nil {
+		return err
+	}
+	rows := make(map[string]map[string]float64) // crawler → site → value
+	saved := map[string]float64{}
+	lost := map[string]float64{}
+	for i, code := range sites {
+		for name, v := range perSite[i].row {
 			if rows[name] == nil {
 				rows[name] = map[string]float64{}
 			}
-			rows[name][code] = metric(cell)
+			rows[name][code] = v
 		}
-		if earlyStop {
-			s, l, err := earlyStopNumbers(cfg, se, cells["SB-CLASSIFIER"])
-			if err != nil {
-				return err
-			}
-			saved[code], lost[code] = s, l
-		}
+		saved[code], lost[code] = perSite[i].saved, perSite[i].lost
 	}
 
 	fmt.Fprintf(cfg.Out, title+" (scale %.4g, %d run(s))\n", cfg.Scale, cfg.Runs)
@@ -148,21 +171,27 @@ func RunEarlyStop(cfg Config) error {
 	sites := sitesOrDefault(cfg, allCodes())
 	fmt.Fprintf(cfg.Out, "Early stopping (ν·κ scaled; scale %.4g)\n", cfg.Scale)
 	fmt.Fprintf(cfg.Out, "%-4s %10s %10s %8s\n", "site", "saved(%)", "lost(%)", "fired")
-	for _, code := range sites {
+	outcomes, err := forEachSite(cfg, sites, func(code string) (metrics.EarlyStopOutcome, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return metrics.EarlyStopOutcome{}, err
 		}
 		full, err := core.NewSB(core.SBConfig{Seed: cfg.Seed}).Run(se.env)
 		if err != nil {
-			return err
+			return metrics.EarlyStopOutcome{}, err
 		}
 		es := core.ScaledEarlyStop(se.stats.Available)
 		stopped, err := core.NewSB(core.SBConfig{Seed: cfg.Seed, EarlyStop: &es}).Run(se.env)
 		if err != nil {
-			return err
+			return metrics.EarlyStopOutcome{}, err
 		}
-		out := metrics.CompareEarlyStop(stopped, full)
+		return metrics.CompareEarlyStop(stopped, full), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, code := range sites {
+		out := outcomes[i]
 		fmt.Fprintf(cfg.Out, "%-4s %10.1f %10.1f %8v\n",
 			code, out.SavedRequestsPct, out.LostTargetsPct, out.Fired)
 	}
@@ -175,26 +204,36 @@ func table4Variant(cfg Config, title string, labels []string,
 	build func(i int, seed int64) *core.SB) error {
 	sites := sitesOrDefault(cfg, sitegen.FullyCrawledCodes())
 	type cell struct{ req, vol []float64 }
-	table := make([]map[string]*cell, len(labels))
-	for i := range table {
-		table[i] = map[string]*cell{}
-	}
-	for _, code := range sites {
+	perSite, err := forEachSite(cfg, sites, func(code string) ([]*cell, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		cells := make([]*cell, len(labels))
 		for i := range labels {
 			c := &cell{}
 			for run := 0; run < cfg.Runs; run++ {
 				res, err := build(i, cfg.Seed+int64(run)*101).Run(se.env)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				c.req = append(c.req, metrics.RequestPct90(res.Trace, se.totals))
 				c.vol = append(c.vol, metrics.VolumePct90(res.Trace, se.totals))
 			}
-			table[i][code] = c
+			cells[i] = c
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return err
+	}
+	table := make([]map[string]*cell, len(labels))
+	for i := range table {
+		table[i] = map[string]*cell{}
+	}
+	for s, code := range sites {
+		for i := range labels {
+			table[i][code] = perSite[s][i]
 		}
 	}
 	fmt.Fprintf(cfg.Out, "%s (SB-ORACLE, fully-crawled sites; req%% | vol%%)\n", title)
@@ -292,13 +331,19 @@ func RunTable5(cfg Config) error {
 	// equally, so floor-size sites with a handful of predictions do not
 	// dominate the rate.
 	merged := make(map[string]*classify.Confusion)
-	for _, code := range sites {
+	type variantCell struct {
+		req  float64
+		conf *classify.Confusion
+	}
+	perSite, err := forEachSite(cfg, sites, func(code string) (map[string]variantCell, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		cells := make(map[string]variantCell, len(variants))
 		for _, v := range variants {
 			var req []float64
+			conf := classify.NewConfusion()
 			for run := 0; run < cfg.Runs; run++ {
 				res, err := core.NewSB(core.SBConfig{
 					Seed:     cfg.Seed + int64(run)*101,
@@ -306,20 +351,31 @@ func RunTable5(cfg Config) error {
 					Features: featureSet(v.Features),
 				}).Run(se.env)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				req = append(req, metrics.RequestPct90(res.Trace, se.totals))
 				if res.Confusion != nil {
-					if merged[v.Label] == nil {
-						merged[v.Label] = classify.NewConfusion()
-					}
-					merged[v.Label].Merge(res.Confusion)
+					conf.Merge(res.Confusion)
 				}
 			}
+			cells[v.Label] = variantCell{req: metrics.Mean(req), conf: conf}
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, code := range sites {
+		for _, v := range variants {
+			cell := perSite[i][v.Label]
 			if table[v.Label] == nil {
 				table[v.Label] = map[string]float64{}
 			}
-			table[v.Label][code] = metrics.Mean(req)
+			table[v.Label][code] = cell.req
+			if merged[v.Label] == nil {
+				merged[v.Label] = classify.NewConfusion()
+			}
+			merged[v.Label].Merge(cell.conf)
 		}
 	}
 	fmt.Fprintf(cfg.Out, "Table 5 — classifier variants (req%% to 90%% targets; MR = inter-site misclassification %%)\n")
@@ -351,16 +407,22 @@ func RunTable6(cfg Config) error {
 	sites := sitesOrDefault(cfg, allCodes())
 	fmt.Fprintf(cfg.Out, "Table 6 — non-zero action rewards (SB-CLASSIFIER)\n")
 	fmt.Fprintf(cfg.Out, "%-4s %10s %10s %8s\n", "site", "mean", "std", "groups")
-	for _, code := range sites {
+	stats, err := forEachSite(cfg, sites, func(code string) (metrics.RewardStats, error) {
 		se, err := buildSite(cfg, code)
 		if err != nil {
-			return err
+			return metrics.RewardStats{}, err
 		}
 		res, err := core.NewSB(core.SBConfig{Seed: cfg.Seed}).Run(se.env)
 		if err != nil {
-			return err
+			return metrics.RewardStats{}, err
 		}
-		st := metrics.ComputeRewardStats(res.Actions, 10)
+		return metrics.ComputeRewardStats(res.Actions, 10), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, code := range sites {
+		st := stats[i]
 		fmt.Fprintf(cfg.Out, "%-4s %10.2f %10.2f %8d\n", code, st.Mean, st.Std, st.Groups)
 	}
 	return nil
@@ -373,15 +435,21 @@ func RunTable7(cfg Config) error {
 	sites := sitesOrDefault(cfg, sitegen.Table7Codes)
 	fmt.Fprintf(cfg.Out, "Table 7 — SDs retrieval across sample targets (40 per site)\n")
 	fmt.Fprintf(cfg.Out, "%-4s %12s %16s %8s\n", "site", "SD Yield(%)", "Mean #SDs/Tgt", "sampled")
-	for _, code := range sites {
+	reports, err := forEachSite(cfg, sites, func(code string) (metrics.SDYieldReport, error) {
 		p, ok := sitegen.ProfileByCode(code)
 		if !ok {
-			return fmt.Errorf("unknown site %q", code)
+			return metrics.SDYieldReport{}, fmt.Errorf("unknown site %q", code)
 		}
 		site := sitegen.Generate(sitegen.Config{
 			Profile: p, Scale: cfg.Scale, Seed: cfg.Seed, MaxPages: cfg.MaxPages,
 		})
-		rep := metrics.SDYield(site, 40, cfg.Seed)
+		return metrics.SDYield(site, 40, cfg.Seed), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, code := range sites {
+		rep := reports[i]
 		fmt.Fprintf(cfg.Out, "%-4s %12.0f %16.1f %8d\n", code, rep.YieldPct, rep.MeanSDs, rep.Sampled)
 	}
 	return nil
@@ -392,24 +460,37 @@ func RunTable7(cfg Config) error {
 func RunConfusion(cfg Config) error {
 	cfg = cfg.withDefaults()
 	sites := sitesOrDefault(cfg, sitegen.FullyCrawledCodes())
-	for _, v := range classifierVariants() {
-		merged := classify.NewConfusion()
-		for _, code := range sites {
-			se, err := buildSite(cfg, code)
-			if err != nil {
-				return err
-			}
+	variants := classifierVariants()
+	// One site build serves every variant; sites fan out across workers.
+	perSite, err := forEachSite(cfg, sites, func(code string) ([]*classify.Confusion, error) {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return nil, err
+		}
+		confs := make([]*classify.Confusion, len(variants))
+		for i, v := range variants {
 			res, err := core.NewSB(core.SBConfig{
 				Seed:     cfg.Seed,
 				Model:    v.Model,
 				Features: featureSet(v.Features),
 			}).Run(se.env)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			confs[i] = classify.NewConfusion()
 			if res.Confusion != nil {
-				merged.Merge(res.Confusion)
+				confs[i].Merge(res.Confusion)
 			}
+		}
+		return confs, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, v := range variants {
+		merged := classify.NewConfusion()
+		for s := range sites {
+			merged.Merge(perSite[s][i])
 		}
 		fmt.Fprintf(cfg.Out, "Confusion matrix — %s (inter-site, %d sites)\n%s\n",
 			v.Label, len(sites), merged)

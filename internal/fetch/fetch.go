@@ -25,7 +25,10 @@ type Response struct {
 }
 
 // Fetcher issues HTTP requests. Implementations must be safe for sequential
-// use by a single crawler; none is required to be concurrency-safe.
+// use by a single crawler; only Sim is additionally safe to share between
+// concurrently running crawls (it is stateless over a read-only server).
+// Replay and HTTP are per-crawl: a fleet gives every site its own instance
+// and coordinates politeness through the shared HostLimiter instead.
 type Fetcher interface {
 	// Get retrieves a URL; implementations honor the banned-MIME
 	// interruption rule when a blocklist is configured.

@@ -178,12 +178,40 @@ func TestHTTPFetcherSurfacesRedirects(t *testing.T) {
 func TestHTTPPolitenessDelay(t *testing.T) {
 	f := NewHTTP()
 	f.MinDelay = 100 * time.Millisecond
+	f.Limiter = NewHostLimiter()
+	f.Limiter.now = func() time.Time { return time.Unix(1000, 0) } // frozen clock
 	var slept time.Duration
-	f.sleep = func(d time.Duration) { slept += d }
-	f.lastRequest = time.Now()
+	f.Limiter.sleep = func(d time.Duration) { slept += d }
 	f.politeWait("http://example.org/x")
-	if slept <= 0 || slept > 100*time.Millisecond {
-		t.Errorf("politeness slept %v, want (0, 100ms]", slept)
+	if slept != 0 {
+		t.Errorf("first request slept %v, want no wait", slept)
+	}
+	f.politeWait("http://example.org/y")
+	if slept != 100*time.Millisecond {
+		t.Errorf("politeness slept %v, want exactly 100ms", slept)
+	}
+}
+
+func TestHTTPSharedLimiterAcrossFetchers(t *testing.T) {
+	// Two fetchers crawling the same host through one limiter must observe
+	// each other's requests; a third on another host must not. The frozen
+	// clock makes the expected sleeps exact.
+	limiter := NewHostLimiter()
+	limiter.now = func() time.Time { return time.Unix(1000, 0) }
+	var slept time.Duration
+	limiter.sleep = func(d time.Duration) { slept += d }
+	a, b := NewHTTP(), NewHTTP()
+	a.MinDelay, b.MinDelay = 50*time.Millisecond, 50*time.Millisecond
+	a.Limiter, b.Limiter = limiter, limiter
+	a.politeWait("http://example.org/a")
+	b.politeWait("http://example.org/b")
+	if slept != 50*time.Millisecond {
+		t.Errorf("second fetcher on the same host slept %v, want 50ms", slept)
+	}
+	slept = 0
+	b.politeWait("http://other.example.net/")
+	if slept != 0 {
+		t.Errorf("distinct host slept %v, want no wait", slept)
 	}
 }
 

@@ -1,0 +1,114 @@
+package fetch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHostLimiterSameHostSpacing checks the fleet politeness invariant:
+// concurrent crawls of one host serialize into MinDelay-spaced requests.
+// Six grants spaced 20ms apart cannot complete in under 100ms.
+func TestHostLimiterSameHostSpacing(t *testing.T) {
+	l := NewHostLimiter()
+	const delay = 20 * time.Millisecond
+	const grants = 6
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < grants/2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Wait("https://example.org", delay)
+			l.Wait("https://example.org", delay)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < (grants-1)*delay {
+		t.Errorf("6 same-host grants took %v, want >= %v", elapsed, (grants-1)*delay)
+	}
+}
+
+// TestHostLimiterDistinctHostsDoNotSerialize checks the other half of the
+// invariant: crawls of different hosts proceed in parallel. Four hosts with
+// two 50ms-spaced requests each would need >=350ms if they serialized; in
+// parallel each host only waits its own 50ms.
+func TestHostLimiterDistinctHostsDoNotSerialize(t *testing.T) {
+	l := NewHostLimiter()
+	const delay = 50 * time.Millisecond
+	hosts := []string{"https://a.org", "https://b.org", "https://c.org", "https://d.org"}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Wait(h, delay)
+			l.Wait(h, delay)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed >= 200*time.Millisecond {
+		t.Errorf("4 independent hosts took %v, want well under the serialized 350ms", elapsed)
+	}
+}
+
+// TestHostLimiterDeterministicWindow pins the exact window arithmetic with
+// injected clock seams: the first grant is free, the second sleeps the full
+// delay, and a late arrival sleeps only the remainder.
+func TestHostLimiterDeterministicWindow(t *testing.T) {
+	l := NewHostLimiter()
+	now := time.Unix(1000, 0)
+	var slept []time.Duration
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	l.Wait("h", time.Second)
+	if len(slept) != 0 {
+		t.Fatalf("first grant slept %v, want none", slept)
+	}
+	l.Wait("h", time.Second)
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Fatalf("second grant slept %v, want [1s]", slept)
+	}
+	// 600ms later (grant was claimed at now+1s): only 400ms remain.
+	now = now.Add(1600 * time.Millisecond)
+	l.Wait("h", time.Second)
+	if len(slept) != 2 || slept[1] != 400*time.Millisecond {
+		t.Fatalf("late grant slept %v, want 400ms remainder", slept)
+	}
+	// Zero delay never waits and never claims.
+	l.Wait("h", 0)
+	if len(slept) != 2 {
+		t.Fatalf("zero delay slept: %v", slept)
+	}
+}
+
+func TestHostKey(t *testing.T) {
+	cases := map[string]string{
+		"https://example.org/a/b?q=1":   "example.org",
+		"http://example.org:8080/x":     "example.org:8080",
+		"not a url at all":              "not a url at all",
+		"https://other.example.net/doc": "other.example.net",
+		// http→https of one site must share a politeness window.
+		"http://example.org/a/b": "example.org",
+	}
+	for in, want := range cases {
+		if got := hostKey(in); got != want {
+			t.Errorf("hostKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLatencyFetcherDelays(t *testing.T) {
+	f, site := newSimFetcher(t)
+	l := &Latency{Backend: f, Delay: 5 * time.Millisecond}
+	start := time.Now()
+	resp, err := l.Get(site.Root())
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("latency GET: %v %+v", err, resp)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("latency GET returned after %v, want >= 5ms", elapsed)
+	}
+}

@@ -29,10 +29,13 @@ type HTTP struct {
 	// (RFC 9309); disallowed URLs return ErrRobotsDisallowed without any
 	// network traffic. On by default.
 	RespectRobots bool
+	// Limiter spaces requests per host. Nil means SharedHostLimiter, which
+	// every HTTP fetcher in the process shares: concurrent crawls of the
+	// same host observe MinDelay between one another's requests, while
+	// crawls of distinct hosts proceed independently.
+	Limiter *HostLimiter
 
-	lastRequest time.Time
-	sleep       func(time.Duration) // test seam
-	robots      robotsGate
+	robots robotsGate
 }
 
 // NewHTTP builds a polite fetcher with a 1-second delay.
@@ -49,7 +52,6 @@ func NewHTTP() *HTTP {
 		UserAgent:     "sbcrawl/1.0 (focused statistics-dataset crawler)",
 		BlockMIME:     true,
 		RespectRobots: true,
-		sleep:         time.Sleep,
 	}
 }
 
@@ -70,13 +72,11 @@ func (f *HTTP) politeWait(url string) {
 			delay = d
 		}
 	}
-	if delay <= 0 {
-		return
+	limiter := f.Limiter
+	if limiter == nil {
+		limiter = SharedHostLimiter
 	}
-	if since := time.Since(f.lastRequest); since < delay {
-		f.sleep(delay - since)
-	}
-	f.lastRequest = time.Now()
+	limiter.Wait(hostKey(url), delay)
 }
 
 // Get implements Fetcher.

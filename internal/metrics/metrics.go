@@ -113,6 +113,43 @@ func Curve(tr *core.Trace, n int) []CurvePoint {
 	return out
 }
 
+// MergeTraces sums several cumulative traces position-wise into one fleet
+// trace: point i of the merge is the sum of every input's state after its
+// own i-th request. Inputs shorter than the longest carry their final
+// values forward (a finished crawl holds its totals while the others keep
+// going). Nil or empty traces contribute nothing.
+func MergeTraces(traces []*core.Trace) *core.Trace {
+	merged := &core.Trace{}
+	maxLen := 0
+	for _, tr := range traces {
+		if tr != nil && tr.Len() > maxLen {
+			maxLen = tr.Len()
+		}
+	}
+	if maxLen == 0 {
+		return merged
+	}
+	merged.Targets = make([]int32, maxLen)
+	merged.TargetBytes = make([]int64, maxLen)
+	merged.NonTargetBytes = make([]int64, maxLen)
+	for _, tr := range traces {
+		if tr == nil || tr.Len() == 0 {
+			continue
+		}
+		n := tr.Len()
+		for i := 0; i < maxLen; i++ {
+			j := i
+			if j >= n {
+				j = n - 1
+			}
+			merged.Targets[i] += tr.Targets[j]
+			merged.TargetBytes[i] += tr.TargetBytes[j]
+			merged.NonTargetBytes[i] += tr.NonTargetBytes[j]
+		}
+	}
+	return merged
+}
+
 // RewardStats summarizes the non-zero action rewards of an SB run: the mean
 // and standard deviation of Table 6 and the sorted top-k means of Figure 5.
 type RewardStats struct {

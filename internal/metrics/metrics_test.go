@@ -178,3 +178,31 @@ func TestShareMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMergeTraces(t *testing.T) {
+	a := &core.Trace{}
+	a.Record(0, 0, 100)
+	a.Record(1, 50, 100)
+	a.Record(2, 80, 150)
+	b := &core.Trace{}
+	b.Record(1, 10, 5)
+	merged := MergeTraces([]*core.Trace{a, b, nil, {}})
+	if merged.Len() != 3 {
+		t.Fatalf("merged len = %d, want 3 (longest input)", merged.Len())
+	}
+	// Point 0 sums both first points; later points carry b's final value.
+	wantTargets := []int32{1, 2, 3}
+	wantTB := []int64{10, 60, 90}
+	wantNTB := []int64{105, 105, 155}
+	for i := 0; i < 3; i++ {
+		if merged.Targets[i] != wantTargets[i] || merged.TargetBytes[i] != wantTB[i] ||
+			merged.NonTargetBytes[i] != wantNTB[i] {
+			t.Errorf("point %d = (%d, %d, %d), want (%d, %d, %d)", i,
+				merged.Targets[i], merged.TargetBytes[i], merged.NonTargetBytes[i],
+				wantTargets[i], wantTB[i], wantNTB[i])
+		}
+	}
+	if MergeTraces(nil).Len() != 0 {
+		t.Error("merging nothing must give an empty trace")
+	}
+}

@@ -17,9 +17,27 @@
 //
 //	site, _ := sbcrawl.GenerateSite("ju", 0.01, 1)
 //	res, _ := sbcrawl.CrawlSite(site, sbcrawl.Config{})
+//
+// # Crawling many sites at once
+//
+// CrawlMany and CrawlSites run a fleet of independent crawls over a worker
+// pool (see examples/fleet), aggregating per-site results into a
+// FleetResult. Per-site outcomes are byte-identical whatever the worker
+// count, and a process-wide per-host rate limiter keeps concurrent live
+// crawls of one host MinDelay apart.
+//
+// # Concurrency
+//
+// A Site (and the servers behind it) is immutable after GenerateSite and
+// safe to share between concurrent crawls. A single Crawl/CrawlSite call
+// runs on one goroutine; each crawl owns its fetcher and crawler state, so
+// any number of calls may run in parallel — CrawlMany and CrawlSites are
+// the packaged form of that pattern. Config values are plain data and may
+// be reused freely.
 package sbcrawl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,6 +84,10 @@ type Config struct {
 	Seed int64
 	// EarlyStop enables the target-discovery stopping rule of Sec. 4.8.
 	EarlyStop bool
+	// SimLatency injects a fixed per-request delay into simulated crawls
+	// (CrawlSite / CrawlSites), modelling network round-trip time so
+	// parallel-fleet speedups are measurable; ignored by live crawls.
+	SimLatency time.Duration
 
 	// Theta is the tag-path similarity threshold θ (default 0.75).
 	Theta float64
@@ -112,12 +134,24 @@ type Result struct {
 // Only network-feasible strategies are allowed; oracle strategies need a
 // simulated site and are rejected here.
 func Crawl(cfg Config) (*Result, error) {
+	env, err := liveEnv(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return runCrawl(cfg, env, 0)
+}
+
+// liveEnv validates a live-crawl Config and wires its Env: one fresh polite
+// HTTP fetcher per crawl (politeness is coordinated across crawls by the
+// process-wide fetch.SharedHostLimiter), with an optional cancellation
+// context. Shared by Crawl and CrawlMany so the two never diverge.
+func liveEnv(cfg Config, ctx context.Context) (*core.Env, error) {
 	if cfg.Root == "" {
 		return nil, fmt.Errorf("sbcrawl: Config.Root is required")
 	}
 	switch cfg.Strategy {
 	case StrategySBOracle, StrategyTPOff, StrategyTRES, StrategyOmniscient:
-		return nil, fmt.Errorf("sbcrawl: strategy %q needs ground truth; use CrawlSite", cfg.Strategy)
+		return nil, fmt.Errorf("sbcrawl: strategy %q needs ground truth; use CrawlSite or CrawlSites", cfg.Strategy)
 	}
 	f := fetch.NewHTTP()
 	if cfg.Politeness > 0 {
@@ -126,12 +160,12 @@ func Crawl(cfg Config) (*Result, error) {
 	if cfg.UserAgent != "" {
 		f.UserAgent = cfg.UserAgent
 	}
-	env := &core.Env{
+	return &core.Env{
 		Root:        cfg.Root,
 		Fetcher:     f,
 		MaxRequests: cfg.MaxRequests,
-	}
-	return runCrawl(cfg, env, 0)
+		Ctx:         ctx,
+	}, nil
 }
 
 // runCrawl builds the crawler, runs it, and converts the result.
@@ -147,6 +181,11 @@ func runCrawl(cfg Config, env *core.Env, sitePages int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return convertResult(res), nil
+}
+
+// convertResult maps an internal crawl result onto the public type.
+func convertResult(res *core.Result) *Result {
 	out := &Result{
 		Strategy:       res.Crawler,
 		Targets:        res.Targets,
@@ -158,7 +197,7 @@ func runCrawl(cfg Config, env *core.Env, sitePages int) (*Result, error) {
 	for _, pt := range metrics.Curve(res.Trace, 500) {
 		out.Curve = append(out.Curve, CurvePoint(pt))
 	}
-	return out, nil
+	return out
 }
 
 func buildCrawler(cfg Config, sitePages int) (core.Crawler, error) {

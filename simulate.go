@@ -13,7 +13,8 @@ import (
 
 // Site is a deterministic synthetic website mirroring one of the paper's 18
 // evaluation websites (see SiteCodes). It can be crawled in memory through
-// CrawlSite, or served over real HTTP via Handler.
+// CrawlSite, or served over real HTTP via Handler. A Site is immutable
+// after GenerateSite and safe to share between concurrent crawls.
 type Site struct {
 	site   *sitegen.Site
 	server *webserver.Server
@@ -68,9 +69,21 @@ func (s *Site) Handler() http.Handler { return s.server.Handler() }
 // CrawlSite runs any strategy against a simulated site, in memory, with all
 // ground truth wired for the oracle strategies. cfg.Root is ignored.
 func CrawlSite(site *Site, cfg Config) (*Result, error) {
-	env := &core.Env{
+	return runCrawl(cfg, siteCrawlEnv(site, cfg), site.PageCount())
+}
+
+// siteCrawlEnv wires a fresh crawl Env over a simulated site: its own
+// fetcher (optionally latency-wrapped) plus the oracle hooks. Each call
+// returns an independent Env, so any number may crawl the same Site
+// concurrently.
+func siteCrawlEnv(site *Site, cfg Config) *core.Env {
+	var fetcher fetch.Fetcher = fetch.NewSim(site.server)
+	if cfg.SimLatency > 0 {
+		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency}
+	}
+	return &core.Env{
 		Root:        site.site.Root(),
-		Fetcher:     fetch.NewSim(site.server),
+		Fetcher:     fetcher,
 		MaxRequests: cfg.MaxRequests,
 		OracleClass: func(u string) int {
 			pg, ok := site.site.Lookup(u)
@@ -95,6 +108,4 @@ func CrawlSite(site *Site, cfg Config) (*Result, error) {
 		},
 		OracleTargets: site.site.TargetURLs(),
 	}
-	st := site.site.ComputeStats()
-	return runCrawl(cfg, env, st.Available)
 }

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench fleet-bench
+.PHONY: ci build vet test race bench bench-run fleet-bench pipeline-bench
 
 ci: vet test race
 
@@ -21,9 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Record the perf trajectory: full benchmark suite → BENCH_engine.json.
 bench:
+	sh scripts/bench.sh
+
+# Run the benchmarks without recording (quick local look).
+bench-run:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The sequential-vs-parallel fleet speedup tracked in the perf trajectory.
 fleet-bench:
 	$(GO) test -run '^$$' -bench BenchmarkFleetParallel -benchtime 3x .
+
+# The sequential-vs-pipelined single-site speedup (Config.Prefetch).
+pipeline-bench:
+	$(GO) test -run '^$$' -bench BenchmarkPrefetchPipeline -benchtime 3x .

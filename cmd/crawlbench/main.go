@@ -34,6 +34,7 @@ func main() {
 		maxPages = flag.Int("maxpages", 0, "cap per-site page count (0 = none)")
 		csvDir   = flag.String("csv", "", "directory for figure CSV series")
 		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
+		prefetch = flag.Int("prefetch", 0, "speculative fetch window per crawl (0 = sequential engine)")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -57,6 +58,7 @@ func main() {
 		Runs:     *runs,
 		MaxPages: *maxPages,
 		Workers:  *parallel,
+		Prefetch: *prefetch,
 		CSVDir:   *csvDir,
 		Out:      os.Stdout,
 	}

@@ -114,8 +114,7 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 // simJob builds the per-site closure running one simulated crawl.
 func simJob(site *Site, cfg Config) func(ctx context.Context) (*core.Result, error) {
 	return func(ctx context.Context) (*core.Result, error) {
-		env := siteCrawlEnv(site, cfg)
-		env.Ctx = ctx
+		env := siteCrawlEnv(site, cfg, ctx)
 		return runFleetCrawl(cfg, env, site.PageCount())
 	}
 }

@@ -4,11 +4,14 @@ import (
 	"sbcrawl/internal/frontier"
 )
 
-// simpleFrontier abstracts the three unordered baselines' frontiers.
+// simpleFrontier abstracts the three unordered baselines' frontiers. It
+// includes the Peek capability (frontier.Peeker) so the staged loop can
+// speculate on the likely next pops.
 type simpleFrontier interface {
 	Push(url string)
 	Pop() (string, bool)
 	Len() int
+	Peek(n int) []string
 }
 
 // simpleCrawler drives BFS, DFS, and RANDOM: pop a URL, fetch it, push every
@@ -37,32 +40,45 @@ func NewRandom(seed int64) Crawler {
 // Name implements Crawler.
 func (c *simpleCrawler) Name() string { return c.name }
 
-// Run implements Crawler.
+// simpleRun is one simple crawl expressed as a staged policy.
+type simpleRun struct {
+	eng   *engine
+	f     simpleFrontier
+	steps int
+}
+
+// SelectNext implements crawlPolicy.
+func (r *simpleRun) SelectNext() (string, bool) {
+	u, ok := r.f.Pop()
+	if !ok {
+		return "", false
+	}
+	r.steps++
+	return u, true
+}
+
+// Ingest implements crawlPolicy.
+func (r *simpleRun) Ingest(_ string, pg page) {
+	for _, link := range pg.Links {
+		r.eng.seen[link.URL] = true
+		r.f.Push(link.URL)
+	}
+}
+
+// Hints implements crawlPolicy.
+func (r *simpleRun) Hints(n int) []string { return r.f.Peek(n) }
+
+// Run implements Crawler via the staged loop.
 func (c *simpleCrawler) Run(env *Env) (*Result, error) {
 	eng, err := newEngine(env)
 	if err != nil {
 		return nil, err
 	}
-	f := c.front()
+	r := &simpleRun{eng: eng, f: c.front()}
 	eng.seen[env.Root] = true
-	f.Push(env.Root)
-	steps := 0
-	for f.Len() > 0 && eng.budgetLeft() {
-		u, ok := f.Pop()
-		if !ok {
-			break
-		}
-		steps++
-		pg := eng.fetchPage(u)
-		if pg.Truncated {
-			break
-		}
-		for _, link := range pg.Links {
-			eng.seen[link.URL] = true
-			f.Push(link.URL)
-		}
-	}
-	return eng.result(c.name, steps), nil
+	r.f.Push(env.Root)
+	eng.runStaged(r)
+	return eng.result(c.name, r.steps), nil
 }
 
 // omniscient knows V* in advance and retrieves exactly the targets, the
@@ -76,21 +92,44 @@ func NewOmniscient() Crawler { return &omniscient{} }
 // Name implements Crawler.
 func (omniscient) Name() string { return "OMNISCIENT" }
 
+// targetWalk walks the oracle's target list in order; its hints are exact,
+// so the pipelined OMNISCIENT crawl is pure fetch throughput.
+type targetWalk struct {
+	targets []string
+	next    int
+	steps   int
+}
+
+// SelectNext implements crawlPolicy.
+func (w *targetWalk) SelectNext() (string, bool) {
+	if w.next >= len(w.targets) {
+		return "", false
+	}
+	u := w.targets[w.next]
+	w.next++
+	w.steps++
+	return u, true
+}
+
+// Ingest implements crawlPolicy (targets carry no links to follow).
+func (w *targetWalk) Ingest(string, page) {}
+
+// Hints implements crawlPolicy.
+func (w *targetWalk) Hints(n int) []string {
+	end := w.next + n
+	if end > len(w.targets) {
+		end = len(w.targets)
+	}
+	return w.targets[w.next:end]
+}
+
 // Run implements Crawler.
 func (omniscient) Run(env *Env) (*Result, error) {
 	eng, err := newEngine(env)
 	if err != nil {
 		return nil, err
 	}
-	steps := 0
-	for _, u := range env.OracleTargets {
-		if !eng.budgetLeft() {
-			break
-		}
-		steps++
-		if pg := eng.fetchPage(u); pg.Truncated {
-			break
-		}
-	}
-	return eng.result("OMNISCIENT", steps), nil
+	w := &targetWalk{targets: env.OracleTargets}
+	eng.runStaged(w)
+	return eng.result("OMNISCIENT", w.steps), nil
 }

@@ -141,11 +141,11 @@ func TestNoURLFetchedTwice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if replay.Hits != 0 {
-		t.Errorf("%d duplicate fetches detected (replay hits)", replay.Hits)
+	if replay.Hits() != 0 {
+		t.Errorf("%d duplicate fetches detected (replay hits)", replay.Hits())
 	}
-	if res.Requests != replay.Misses {
-		t.Errorf("requests %d != distinct fetches %d", res.Requests, replay.Misses)
+	if res.Requests != replay.Misses() {
+		t.Errorf("requests %d != distinct fetches %d", res.Requests, replay.Misses())
 	}
 }
 

@@ -41,6 +41,13 @@ type Env struct {
 	// graceful path as budget exhaustion, returning its partial result.
 	// Fleet orchestration uses this for mid-batch cancellation.
 	Ctx context.Context
+	// Prefetch, when > 0, pipelines the crawl: up to Prefetch speculative
+	// GETs for the strategy's likely-next URLs run concurrently behind the
+	// engine's sequential loop, hiding fetch latency inside a single site
+	// crawl. Results are byte-identical to Prefetch == 0 for every
+	// strategy; speculative requests are never charged to the budget. The
+	// Fetcher must be safe for concurrent Gets (all provided ones are).
+	Prefetch int
 
 	// OracleClass maps a URL to its true class (classify.Class*); used by
 	// SB-ORACLE and TRES. Nil for realistic crawlers.
@@ -118,6 +125,8 @@ func (tr *Trace) Len() int { return len(tr.Targets) }
 // the policy-specific link handling.
 type engine struct {
 	env            *Env
+	fetcher        fetch.Fetcher     // Env.Fetcher, prefetch-wrapped when pipelining
+	prefetcher     *fetch.Prefetcher // nil when Env.Prefetch == 0
 	scope          *urlutil.Scope
 	mimes          urlutil.MIMESet
 	meter          fetch.Meter
@@ -135,13 +144,31 @@ func newEngine(env *Env) (*engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: bad crawl root: %w", err)
 	}
-	return &engine{
-		env:   env,
-		scope: scope,
-		mimes: env.targetMIMEs(),
-		trace: &Trace{},
-		seen:  make(map[string]bool),
-	}, nil
+	e := &engine{
+		env:     env,
+		fetcher: env.Fetcher,
+		scope:   scope,
+		mimes:   env.targetMIMEs(),
+		trace:   &Trace{},
+		seen:    make(map[string]bool),
+	}
+	if env.Prefetch > 0 && env.Fetcher != nil {
+		e.prefetcher = fetch.NewPrefetcher(env.Fetcher, env.Prefetch)
+		e.fetcher = e.prefetcher
+	}
+	return e, nil
+}
+
+// close winds the pipeline down: after it returns, no speculative fetch is
+// in flight and the underlying fetcher is quiescent (safe to reuse for the
+// next sequential crawl). Idempotent; called when the crawl's result is
+// assembled.
+func (e *engine) close() {
+	if e.prefetcher != nil {
+		e.prefetcher.Close()
+		e.prefetcher = nil
+		e.fetcher = e.env.Fetcher
+	}
 }
 
 // budgetLeft reports whether another request may be issued: the budget has
@@ -164,7 +191,7 @@ func (e *engine) get(u string) (fetch.Response, bool) {
 		e.budgetExceeded = true
 		return fetch.Response{}, false
 	}
-	resp, err := e.env.Fetcher.Get(u)
+	resp, err := e.fetcher.Get(u)
 	if err != nil {
 		// Network failure: charge the attempt, treat as a 5xx.
 		resp = fetch.Response{URL: u, Status: 599}
@@ -185,7 +212,7 @@ func (e *engine) head(u string) (fetch.Response, bool) {
 		e.budgetExceeded = true
 		return fetch.Response{}, false
 	}
-	resp, err := e.env.Fetcher.Head(u)
+	resp, err := e.fetcher.Head(u)
 	if err != nil {
 		resp = fetch.Response{URL: u, Status: 599}
 	}
@@ -296,8 +323,10 @@ func mustParse(raw string) *url.URL {
 	return u
 }
 
-// result assembles the shared part of a Result.
+// result assembles the shared part of a Result, winding down the prefetch
+// pipeline first so no speculative fetch outlives the crawl.
 func (e *engine) result(name string, steps int) *Result {
+	e.close()
 	return &Result{
 		Crawler:        name,
 		Trace:          e.trace,

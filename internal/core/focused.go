@@ -41,62 +41,81 @@ func focusedFeatures(linkURL, anchor string, sourceDepth int) textvec.Sparse {
 	return x
 }
 
-// Run implements Crawler.
+// focusedRun is one FOCUSED crawl expressed as a staged policy.
+type focusedRun struct {
+	f       *focused
+	eng     *engine
+	model   *learn.LogisticRegression
+	pq      frontier.Priority
+	feats   map[string]textvec.Sparse // frontier URL → link features
+	batch   []learn.Example
+	trained bool
+	steps   int
+	pending textvec.Sparse // features of the URL SelectNext just popped
+}
+
+func (r *focusedRun) score(x textvec.Sparse) float64 {
+	if !r.trained {
+		return 0
+	}
+	return r.model.Score(x)
+}
+
+// SelectNext implements crawlPolicy.
+func (r *focusedRun) SelectNext() (string, bool) {
+	u, _, ok := r.pq.Pop()
+	if !ok {
+		return "", false
+	}
+	r.steps++
+	r.pending = r.feats[u]
+	delete(r.feats, u)
+	return u, true
+}
+
+// Ingest implements crawlPolicy: label the traversed link by its outcome,
+// learn from it, and score the page's new links into the frontier.
+func (r *focusedRun) Ingest(_ string, pg page) {
+	label := learn.ClassHTML
+	if pg.IsTarget {
+		label = learn.ClassTarget
+	}
+	if r.pending != nil {
+		r.batch = append(r.batch, learn.Example{X: r.pending, Y: label})
+	}
+	if len(r.batch) >= r.f.retrainEvery {
+		r.model.PartialFit(r.batch)
+		r.batch = r.batch[:0]
+		r.trained = true
+		r.pq.Rescore(func(url string) float64 { return r.score(r.feats[url]) })
+	}
+	depth := urlutil.Depth(pg.FinalURL)
+	for _, link := range pg.Links {
+		lx := focusedFeatures(link.URL, link.AnchorText, depth)
+		r.eng.seen[link.URL] = true
+		r.feats[link.URL] = lx
+		r.pq.Push(link.URL, r.score(lx))
+	}
+}
+
+// Hints implements crawlPolicy.
+func (r *focusedRun) Hints(n int) []string { return r.pq.Peek(n) }
+
+// Run implements Crawler via the staged loop.
 func (f *focused) Run(env *Env) (*Result, error) {
 	eng, err := newEngine(env)
 	if err != nil {
 		return nil, err
 	}
-	model := learn.NewLogisticRegression()
-	var pq frontier.Priority
-	feats := make(map[string]textvec.Sparse) // frontier URL → link features
-	var batch []learn.Example
-	trained := false
-
-	score := func(x textvec.Sparse) float64 {
-		if !trained {
-			return 0
-		}
-		return model.Score(x)
+	r := &focusedRun{
+		f:     f,
+		eng:   eng,
+		model: learn.NewLogisticRegression(),
+		feats: make(map[string]textvec.Sparse),
 	}
-
 	eng.seen[env.Root] = true
-	pq.Push(env.Root, 0)
-	feats[env.Root] = focusedFeatures(env.Root, "", 0)
-	steps := 0
-	for pq.Len() > 0 && eng.budgetLeft() {
-		u, _, ok := pq.Pop()
-		if !ok {
-			break
-		}
-		steps++
-		x := feats[u]
-		delete(feats, u)
-		pg := eng.fetchPage(u)
-		if pg.Truncated {
-			break
-		}
-		// Label the traversed link by its outcome and learn from it.
-		label := learn.ClassHTML
-		if pg.IsTarget {
-			label = learn.ClassTarget
-		}
-		if x != nil {
-			batch = append(batch, learn.Example{X: x, Y: label})
-		}
-		if len(batch) >= f.retrainEvery {
-			model.PartialFit(batch)
-			batch = batch[:0]
-			trained = true
-			pq.Rescore(func(url string) float64 { return score(feats[url]) })
-		}
-		depth := urlutil.Depth(pg.FinalURL)
-		for _, link := range pg.Links {
-			lx := focusedFeatures(link.URL, link.AnchorText, depth)
-			eng.seen[link.URL] = true
-			feats[link.URL] = lx
-			pq.Push(link.URL, score(lx))
-		}
-	}
-	return eng.result(f.Name(), steps), nil
+	r.pq.Push(env.Root, 0)
+	r.feats[env.Root] = focusedFeatures(env.Root, "", 0)
+	eng.runStaged(r)
+	return eng.result(f.Name(), r.steps), nil
 }

@@ -1,0 +1,62 @@
+package core
+
+// This file is the staged crawl loop shared by every strategy: the
+// monolithic select→fetch→parse→update iteration of Algorithm 3/4 split
+// into explicit stages so the fetch stage can be overlapped with
+// speculative prefetching (Env.Prefetch). The decomposition follows the
+// multi-threaded crawling literature (BUbiNG's per-agent parallelism,
+// stage-decomposed crawl loops): selection and ingestion stay strictly
+// sequential — they own all crawl state and all randomness — while the
+// network round trips of the next likely selections proceed concurrently
+// behind the fetch.Prefetcher. Results are byte-identical to the purely
+// sequential loop at every prefetch width because no stage ever *reads*
+// speculative state; the prefetcher is only a cache the fetch stage warms.
+
+// crawlPolicy is the strategy-specific half of the staged loop: the select
+// stage (SelectNext) and the ingest stage (Ingest). The engine owns the
+// fetch stage, budget accounting, and speculation.
+type crawlPolicy interface {
+	// SelectNext pops the strategy's next URL — the select stage. ok=false
+	// ends the crawl (empty frontier, policy exhaustion, early stop). A
+	// policy performs all of its per-step bookkeeping that precedes the
+	// fetch (step counting, bandit selection recording) here.
+	SelectNext() (u string, ok bool)
+	// Ingest consumes the fetched page for the URL SelectNext returned —
+	// the ingest stage: parse/classify outcomes, frontier updates, reward
+	// accounting. Not called for truncated fetches.
+	Ingest(u string, pg page)
+	// Hints lists up to n URLs the policy is likely to select soon, in
+	// decreasing likelihood, without mutating any crawl state (see
+	// frontier.Peeker). Only consulted when prefetching is on.
+	Hints(n int) []string
+}
+
+// runStaged drives a policy through the staged loop until the budget, the
+// context, or the policy ends the crawl. With Env.Prefetch == 0 it is
+// step-for-step the sequential engine; with a prefetch window it submits
+// the policy's hints right before each blocking fetch, so the network works
+// on the likely next pages while the current one is fetched and ingested.
+func (e *engine) runStaged(p crawlPolicy) {
+	for e.budgetLeft() {
+		u, ok := p.SelectNext()
+		if !ok {
+			return
+		}
+		e.speculate(p)
+		pg := e.fetchPage(u)
+		if pg.Truncated {
+			return
+		}
+		p.Ingest(u, pg)
+	}
+}
+
+// speculate forwards the policy's likely-next URLs to the prefetch layer.
+func (e *engine) speculate(p crawlPolicy) {
+	if e.prefetcher == nil {
+		return
+	}
+	if hints := p.Hints(e.env.Prefetch); len(hints) > 0 {
+		e.prefetcher.Hint(hints...)
+	}
+}

@@ -66,6 +66,9 @@ type sbRun struct {
 	stopper *earlyStopper
 	steps   int
 	stopped bool
+	// pendingAction is the bandit arm behind the URL SelectNext returned,
+	// consumed by the following Ingest.
+	pendingAction int
 }
 
 // Run implements Crawler (Algorithm 3).
@@ -95,24 +98,10 @@ func (s *SB) Run(env *Env) (*Result, error) {
 		r.stopper = newEarlyStopper(*cfg.EarlyStop)
 	}
 
-	// Crawl the root, then loop: select action, pop a link, crawl it.
+	// Crawl the root, then run the staged loop: select action, pop a
+	// link, crawl it (Algorithm 3 over the select/fetch/ingest stages).
 	r.step(env.Root, -1, 0)
-	for r.front.Len() > 0 && eng.budgetLeft() && !r.stopped {
-		awake := r.front.Awake()
-		a, ok := r.policy.Select(awake, r.steps)
-		if !ok {
-			break
-		}
-		u, ok := r.front.PopFrom(a)
-		if !ok {
-			continue
-		}
-		r.policy.RecordSelection(a)
-		r.step(u, a, 0)
-		if r.stopper != nil && r.stopper.Observe(r.steps, eng.tcount) {
-			r.stopped = true
-		}
-	}
+	eng.runStaged(r)
 
 	res := eng.result(s.Name(), r.steps)
 	res.EarlyStopped = r.stopped
@@ -152,16 +141,55 @@ func (s *SB) buildClassifier(env *Env, r *sbRun) classify.Classifier {
 	})
 }
 
-// step is Algorithm 4: crawl one URL, classify its new links, push HTML
-// links to the action frontier, immediately retrieve predicted targets, and
-// fold the reward into the chosen action's running mean.
+// SelectNext implements crawlPolicy: the bandit picks an awake action, the
+// frontier draws a link from it. An empty draw (the action went to sleep)
+// retries, as in Algorithm 3.
+func (r *sbRun) SelectNext() (string, bool) {
+	for r.front.Len() > 0 && !r.stopped {
+		awake := r.front.Awake()
+		a, ok := r.policy.Select(awake, r.steps)
+		if !ok {
+			return "", false
+		}
+		u, ok := r.front.PopFrom(a)
+		if !ok {
+			continue
+		}
+		r.policy.RecordSelection(a)
+		r.pendingAction = a
+		r.steps++ // mirrors step(): the step begins before its fetch
+		return u, true
+	}
+	return "", false
+}
+
+// Ingest implements crawlPolicy: the post-fetch half of step(), then the
+// early-stopping observation of Section 4.8.
+func (r *sbRun) Ingest(_ string, pg page) {
+	r.ingestPage(pg, r.pendingAction, 0)
+	if r.stopper != nil && r.stopper.Observe(r.steps, r.eng.tcount) {
+		r.stopped = true
+	}
+}
+
+// Hints implements crawlPolicy.
+func (r *sbRun) Hints(n int) []string { return r.front.Peek(n) }
+
+// step is Algorithm 4: crawl one URL, then ingest it.
 func (r *sbRun) step(u string, action int, depth int) {
-	const maxPredictedTargetDepth = 16
 	r.steps++
 	pg := r.eng.fetchPage(u)
 	if pg.Truncated {
 		return
 	}
+	r.ingestPage(pg, action, depth)
+}
+
+// ingestPage classifies a fetched page's new links, pushes HTML links to
+// the action frontier, immediately retrieves predicted targets, and folds
+// the reward into the chosen action's running mean.
+func (r *sbRun) ingestPage(pg page, action int, depth int) {
+	const maxPredictedTargetDepth = 16
 	reward := 0
 	switch {
 	case pg.IsHTML:

@@ -33,85 +33,134 @@ func NewTPOff(warmup int, seed int64) Crawler {
 // Name implements Crawler.
 func (t *tpoff) Name() string { return "TP-OFF" }
 
-// Run implements Crawler.
+// tpoffRun is one TP-OFF crawl: shared state for the two staged phases.
+type tpoffRun struct {
+	t          *tpoff
+	eng        *engine
+	env        *Env
+	actions    *ActionIndex
+	benefitSum map[int]float64
+	benefitCnt map[int]int
+	bfs        frontier.Queue
+	groupOf    map[string]int // pending URL → group of the link that found it
+	grouped    *frontier.Grouped
+	steps      int
+}
+
+// avg is a group's frozen average benefit.
+func (r *tpoffRun) avg(g int) float64 {
+	if r.benefitCnt[g] == 0 {
+		return 0
+	}
+	return r.benefitSum[g] / float64(r.benefitCnt[g])
+}
+
+// tpoffWarmup is phase 1: BFS warm-up with oracle benefits.
+type tpoffWarmup struct{ r *tpoffRun }
+
+// SelectNext implements crawlPolicy.
+func (p tpoffWarmup) SelectNext() (string, bool) {
+	r := p.r
+	if r.steps >= r.t.warmup {
+		return "", false
+	}
+	u, ok := r.bfs.Pop()
+	if !ok {
+		return "", false
+	}
+	r.steps++
+	return u, true
+}
+
+// Ingest implements crawlPolicy.
+func (p tpoffWarmup) Ingest(u string, pg page) {
+	r := p.r
+	if g, ok := r.groupOf[u]; ok && pg.IsHTML && r.env.OracleBenefit != nil {
+		r.benefitSum[g] += float64(r.env.OracleBenefit(pg.FinalURL))
+		r.benefitCnt[g]++
+	}
+	delete(r.groupOf, u)
+	for _, link := range pg.Links {
+		g := r.actions.ActionFor(link.TagPath)
+		r.groupOf[link.URL] = g
+		r.eng.seen[link.URL] = true
+		r.bfs.Push(link.URL)
+	}
+}
+
+// Hints implements crawlPolicy.
+func (p tpoffWarmup) Hints(n int) []string { return p.r.bfs.Peek(n) }
+
+// zeroGroup buckets phase-2 links matching no existing group.
+const zeroGroup = -1
+
+// tpoffMain is phase 2: the grouped frontier served best-group-first under
+// frozen benefits.
+type tpoffMain struct{ r *tpoffRun }
+
+// SelectNext implements crawlPolicy.
+func (p tpoffMain) SelectNext() (string, bool) {
+	r := p.r
+	if r.grouped.Len() == 0 {
+		return "", false
+	}
+	g := bestGroup(r.grouped.Awake(), r.avg)
+	u, ok := r.grouped.PopFrom(g)
+	if !ok {
+		return "", false
+	}
+	r.steps++
+	return u, true
+}
+
+// Ingest implements crawlPolicy.
+func (p tpoffMain) Ingest(_ string, pg page) {
+	r := p.r
+	for _, link := range pg.Links {
+		r.eng.seen[link.URL] = true
+		if mg, ok := r.actions.Match(link.TagPath); ok {
+			r.grouped.Push(mg, link.URL)
+		} else {
+			r.grouped.Push(zeroGroup, link.URL)
+		}
+	}
+}
+
+// Hints implements crawlPolicy.
+func (p tpoffMain) Hints(n int) []string { return p.r.grouped.Peek(n) }
+
+// Run implements Crawler: the BFS warm-up phase and the frozen-benefit
+// phase each run through the staged loop.
 func (t *tpoff) Run(env *Env) (*Result, error) {
 	eng, err := newEngine(env)
 	if err != nil {
 		return nil, err
 	}
-	actions := NewActionIndex(ActionIndexConfig{Theta: t.theta, Seed: t.seed})
-	benefitSum := map[int]float64{}
-	benefitCnt := map[int]int{}
-
-	// Phase 1: BFS warm-up with oracle benefits.
-	var bfs frontier.Queue
-	groupOf := map[string]int{} // pending URL → group of the link that found it
+	r := &tpoffRun{
+		t:          t,
+		eng:        eng,
+		env:        env,
+		actions:    NewActionIndex(ActionIndexConfig{Theta: t.theta, Seed: t.seed}),
+		benefitSum: map[int]float64{},
+		benefitCnt: map[int]int{},
+		groupOf:    map[string]int{},
+	}
 	eng.seen[env.Root] = true
-	bfs.Push(env.Root)
-	steps := 0
-	for bfs.Len() > 0 && steps < t.warmup && eng.budgetLeft() {
-		u, ok := bfs.Pop()
-		if !ok {
-			break
-		}
-		steps++
-		pg := eng.fetchPage(u)
-		if pg.Truncated {
-			break
-		}
-		if g, ok := groupOf[u]; ok && pg.IsHTML && env.OracleBenefit != nil {
-			benefitSum[g] += float64(env.OracleBenefit(pg.FinalURL))
-			benefitCnt[g]++
-		}
-		delete(groupOf, u)
-		for _, link := range pg.Links {
-			g := actions.ActionFor(link.TagPath)
-			groupOf[link.URL] = g
-			eng.seen[link.URL] = true
-			bfs.Push(link.URL)
-		}
-	}
+	r.bfs.Push(env.Root)
+	eng.runStaged(tpoffWarmup{r})
 
-	// Freeze benefits; order groups by average benefit, descending.
-	avg := func(g int) float64 {
-		if benefitCnt[g] == 0 {
-			return 0
-		}
-		return benefitSum[g] / float64(benefitCnt[g])
-	}
-
-	// Phase 2: grouped frontier served best-group-first. Remaining BFS
-	// frontier links keep their groups.
-	grouped := frontier.NewGrouped(t.seed + 7)
+	// Freeze benefits; hand the remaining BFS frontier links, with their
+	// groups, to the phase-2 frontier.
+	r.grouped = frontier.NewGrouped(t.seed + 7)
 	for {
-		u, ok := bfs.Pop()
+		u, ok := r.bfs.Pop()
 		if !ok {
 			break
 		}
-		grouped.Push(groupOf[u], u)
+		r.grouped.Push(r.groupOf[u], u)
 	}
-	const zeroGroup = -1 // bucket for links matching no existing group
-	for grouped.Len() > 0 && eng.budgetLeft() {
-		g := bestGroup(grouped.Awake(), avg)
-		u, ok := grouped.PopFrom(g)
-		if !ok {
-			break
-		}
-		steps++
-		pg := eng.fetchPage(u)
-		if pg.Truncated {
-			break
-		}
-		for _, link := range pg.Links {
-			eng.seen[link.URL] = true
-			if mg, ok := actions.Match(link.TagPath); ok {
-				grouped.Push(mg, link.URL)
-			} else {
-				grouped.Push(zeroGroup, link.URL)
-			}
-		}
-	}
-	return eng.result(t.Name(), steps), nil
+	eng.runStaged(tpoffMain{r})
+	return eng.result(t.Name(), r.steps), nil
 }
 
 // bestGroup picks the awake group with the highest frozen average benefit;

@@ -70,7 +70,64 @@ func (t *tres) relevance(text string) float64 {
 	return score
 }
 
-// Run implements Crawler.
+// tresRun is one TRES crawl expressed as a staged policy.
+type tresRun struct {
+	t     *tres
+	eng   *engine
+	env   *Env
+	pq    frontier.Priority
+	steps int
+}
+
+// SelectNext implements crawlPolicy.
+func (r *tresRun) SelectNext() (string, bool) {
+	if len(r.eng.seen) > r.t.treeLimit {
+		// Tree-expansion cost exceeds the 1-minute rule: stop.
+		return "", false
+	}
+	u, _, ok := r.pq.Pop()
+	if !ok {
+		return "", false
+	}
+	r.steps++
+	return u, true
+}
+
+// Ingest implements crawlPolicy: score the page's HTML links into the
+// frontier and fetch predicted targets immediately (adaptation iii). A
+// mid-ingest truncation simply stops the inner fetches; the staged loop
+// then winds down on its own budget check.
+func (r *tresRun) Ingest(_ string, pg page) {
+	if !pg.IsHTML {
+		return
+	}
+	pageRel := 0.0
+	for _, link := range pg.Links {
+		pageRel += r.t.relevance(link.AnchorText)
+	}
+	for _, link := range pg.Links {
+		switch r.env.OracleClass(link.URL) {
+		case classify.ClassTarget: // fetched immediately (adaptation iii)
+			r.eng.seen[link.URL] = true
+			r.steps++
+			if tp := r.eng.fetchPage(link.URL); tp.Truncated {
+				return
+			}
+		case classify.ClassHTML: // scored into the frontier
+			r.eng.seen[link.URL] = true
+			r.pq.Push(link.URL, r.t.relevance(link.AnchorText)+0.2*pageRel)
+		default:
+			// Neither: TRES only accepts HTML pages; skipped for free
+			// thanks to the oracle.
+			r.eng.seen[link.URL] = true
+		}
+	}
+}
+
+// Hints implements crawlPolicy.
+func (r *tresRun) Hints(n int) []string { return r.pq.Peek(n) }
+
+// Run implements Crawler via the staged loop.
 func (t *tres) Run(env *Env) (*Result, error) {
 	eng, err := newEngine(env)
 	if err != nil {
@@ -80,52 +137,9 @@ func (t *tres) Run(env *Env) (*Result, error) {
 		// TRES cannot run without its URL-type oracle (Sec. 4.3).
 		return eng.result(t.Name(), 0), nil
 	}
-	var pq frontier.Priority
+	r := &tresRun{t: t, eng: eng, env: env}
 	eng.seen[env.Root] = true
-	pq.Push(env.Root, 0)
-	steps := 0
-	for pq.Len() > 0 && eng.budgetLeft() {
-		if len(eng.seen) > t.treeLimit {
-			// Tree-expansion cost exceeds the 1-minute rule: stop.
-			break
-		}
-		u, _, ok := pq.Pop()
-		if !ok {
-			break
-		}
-		steps++
-		pg := eng.fetchPage(u)
-		if pg.Truncated {
-			break
-		}
-		if !pg.IsHTML {
-			continue
-		}
-		pageRel := 0.0
-		for _, link := range pg.Links {
-			pageRel += t.relevance(link.AnchorText)
-		}
-		for _, link := range pg.Links {
-			switch env.OracleClass(link.URL) {
-			case classify.ClassTarget: // fetched immediately (adaptation iii)
-				eng.seen[link.URL] = true
-				steps++
-				if tp := eng.fetchPage(link.URL); tp.Truncated {
-					return finishTres(eng, t, steps), nil
-				}
-			case classify.ClassHTML: // scored into the frontier
-				eng.seen[link.URL] = true
-				pq.Push(link.URL, t.relevance(link.AnchorText)+0.2*pageRel)
-			default:
-				// Neither: TRES only accepts HTML pages; skipped for free
-				// thanks to the oracle.
-				eng.seen[link.URL] = true
-			}
-		}
-	}
-	return finishTres(eng, t, steps), nil
-}
-
-func finishTres(eng *engine, t *tres, steps int) *Result {
-	return eng.result(t.Name(), steps)
+	r.pq.Push(env.Root, 0)
+	eng.runStaged(r)
+	return eng.result(t.Name(), r.steps), nil
 }

@@ -41,6 +41,12 @@ type Config struct {
 	// the value: per-site work is independent and results are assembled
 	// in site order.
 	Workers int
+	// Prefetch pipelines every crawl with a speculative fetch window of
+	// this width (0 = sequential). Reports are identical whatever the
+	// value — prefetching only warms the replay database ahead of the
+	// crawl loop — so it composes with Workers: sites in parallel,
+	// requests pipelined within each site.
+	Prefetch int
 	// Out receives the report (default os.Stdout).
 	Out io.Writer
 	// CSVDir, when set, receives figure series as CSV files.
@@ -155,8 +161,9 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 	})
 	replay := fetch.NewReplay(fetch.NewSim(webserver.New(site)))
 	env := &core.Env{
-		Root:    site.Root(),
-		Fetcher: replay,
+		Root:     site.Root(),
+		Fetcher:  replay,
+		Prefetch: cfg.Prefetch,
 		OracleClass: func(u string) int {
 			pg, ok := site.Lookup(u)
 			if !ok {

@@ -24,11 +24,12 @@ type Response struct {
 	Interrupted   bool
 }
 
-// Fetcher issues HTTP requests. Implementations must be safe for sequential
-// use by a single crawler; only Sim is additionally safe to share between
-// concurrently running crawls (it is stateless over a read-only server).
-// Replay and HTTP are per-crawl: a fleet gives every site its own instance
-// and coordinates politeness through the shared HostLimiter instead.
+// Fetcher issues HTTP requests. Implementations must be safe for concurrent
+// use by one crawl: the speculative Prefetcher overlaps GETs on a single
+// fetcher, so Sim (stateless over a read-only server), Replay and HTTP
+// (internally locked) all tolerate concurrent calls. Replay and HTTP remain
+// per-crawl even so — a fleet gives every site its own instance and
+// coordinates politeness through the shared HostLimiter instead.
 type Fetcher interface {
 	// Get retrieves a URL; implementations honor the banned-MIME
 	// interruption rule when a blocklist is configured.

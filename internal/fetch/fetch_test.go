@@ -61,14 +61,14 @@ func TestReplayServesFromDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Misses != 1 || r.Hits != 0 {
-		t.Fatalf("after first get: hits=%d misses=%d", r.Hits, r.Misses)
+	if r.Misses() != 1 || r.Hits() != 0 {
+		t.Fatalf("after first get: hits=%d misses=%d", r.Hits(), r.Misses())
 	}
 	second, err := r.Get(site.Root())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Hits != 1 {
+	if r.Hits() != 1 {
 		t.Errorf("second get must hit the database")
 	}
 	if string(first.Body) != string(second.Body) {
@@ -92,8 +92,8 @@ func TestReplayHeadFromStoredGet(t *testing.T) {
 	if head.Body != nil {
 		t.Error("HEAD from stored GET must drop the body")
 	}
-	if r.Hits != 1 {
-		t.Errorf("HEAD after GET should be a database hit, hits=%d", r.Hits)
+	if r.Hits() != 1 {
+		t.Errorf("HEAD after GET should be a database hit, hits=%d", r.Hits())
 	}
 }
 

@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"net/url"
 	"sync"
 	"time"
@@ -91,22 +92,34 @@ func (l *HostLimiter) evictIdleLocked() {
 // the next Wait on the same host returns no earlier than delay from now.
 // A zero or negative delay returns immediately without claiming anything.
 func (l *HostLimiter) Wait(host string, delay time.Duration) {
+	_ = l.WaitContext(nil, host, delay)
+}
+
+// WaitContext is Wait with prompt cancellation: a cancelled ctx interrupts
+// the politeness sleep immediately and returns the context's error without
+// claiming the host's window (the request it was pacing will not be sent).
+// A nil ctx never cancels.
+func (l *HostLimiter) WaitContext(ctx context.Context, host string, delay time.Duration) error {
 	if l == nil || delay <= 0 {
-		return
+		return ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	now, sleep := l.now, l.sleep
 	if now == nil {
 		now = time.Now
-	}
-	if sleep == nil {
-		sleep = time.Sleep
 	}
 	s := l.slot(host)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := now()
 	if wait := s.next.Sub(t); wait > 0 {
-		sleep(wait)
+		if sleep != nil {
+			sleep(wait) // test seam: deterministic, not cancellable
+		} else if err := sleepContext(ctx, wait); err != nil {
+			return err
+		}
 		t = t.Add(wait)
 		// The scheduler may oversleep; stamp the window from when we
 		// actually woke so the next request still waits the full delay
@@ -116,6 +129,32 @@ func (l *HostLimiter) Wait(host string, delay time.Duration) {
 		}
 	}
 	s.next = t.Add(delay)
+	return nil
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// sleepContext sleeps for d or until ctx is cancelled, whichever comes
+// first, returning the context's error on cancellation.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // hostKey derives the limiter key for a URL: the host (port included, so
@@ -130,18 +169,25 @@ func hostKey(rawURL string) string {
 }
 
 // Latency decorates a Fetcher with a fixed per-request delay, modelling
-// network round-trip time in simulated crawls. It gives fleet benchmarks a
-// realistic speedup surface: parallel crawls overlap their waits the way
-// real crawls overlap network I/O.
+// network round-trip time in simulated crawls. It gives fleet and pipeline
+// benchmarks a realistic speedup surface: parallel crawls — and a single
+// crawl's speculative prefetches — overlap their waits the way real crawls
+// overlap network I/O. Latency is safe for concurrent use when its Backend
+// is.
 type Latency struct {
 	Backend Fetcher
 	Delay   time.Duration
+	// Ctx, when non-nil, interrupts the simulated round trip promptly on
+	// cancellation; the cut-short request reports the context's error.
+	Ctx context.Context
 }
 
 // Get implements Fetcher.
 func (l *Latency) Get(url string) (Response, error) {
 	if l.Delay > 0 {
-		time.Sleep(l.Delay)
+		if err := sleepContext(l.Ctx, l.Delay); err != nil {
+			return Response{}, err
+		}
 	}
 	return l.Backend.Get(url)
 }
@@ -149,7 +195,9 @@ func (l *Latency) Get(url string) (Response, error) {
 // Head implements Fetcher.
 func (l *Latency) Head(url string) (Response, error) {
 	if l.Delay > 0 {
-		time.Sleep(l.Delay)
+		if err := sleepContext(l.Ctx, l.Delay); err != nil {
+			return Response{}, err
+		}
 	}
 	return l.Backend.Head(url)
 }

@@ -1,6 +1,8 @@
 package fetch
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -110,5 +112,68 @@ func TestLatencyFetcherDelays(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
 		t.Errorf("latency GET returned after %v, want >= 5ms", elapsed)
+	}
+}
+
+// TestWaitContextInterruptsPolitenessSleep pins the satellite contract: a
+// cancelled context wakes a politeness sleep immediately instead of letting
+// it run out, and the aborted wait does not claim the host's window.
+func TestWaitContextInterruptsPolitenessSleep(t *testing.T) {
+	l := NewHostLimiter()
+	const delay = 5 * time.Second
+	// First request claims the window without sleeping.
+	if err := l.WaitContext(context.Background(), "h", delay); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- l.WaitContext(ctx, "h", delay) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter reach the sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if woke := time.Since(start); woke > delay/2 {
+			t.Fatalf("cancellation took %v; the sleep was not interrupted", woke)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitContext ignored the cancellation")
+	}
+}
+
+// TestWaitContextAlreadyCancelled pins that a dead context short-circuits
+// before any sleeping or window claiming.
+func TestWaitContextAlreadyCancelled(t *testing.T) {
+	l := NewHostLimiter()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.WaitContext(ctx, "h", time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The window must be unclaimed: a live waiter proceeds immediately.
+	start := time.Now()
+	if err := l.WaitContext(context.Background(), "h", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Errorf("live waiter blocked %v behind a cancelled one", d)
+	}
+}
+
+// TestLatencyContextCancellation pins that a cancelled crawl interrupts the
+// simulated round-trip sleep promptly.
+func TestLatencyContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := &Latency{Backend: &Sim{}, Delay: 5 * time.Second, Ctx: ctx}
+	start := time.Now()
+	if _, err := l.Get("https://s.org/"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled latency sleep still took %v", d)
 	}
 }

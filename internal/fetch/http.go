@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -34,6 +35,11 @@ type HTTP struct {
 	// same host observe MinDelay between one another's requests, while
 	// crawls of distinct hosts proceed independently.
 	Limiter *HostLimiter
+	// Ctx, when non-nil, cancels politeness waits promptly and aborts
+	// in-flight requests when the crawl is cancelled: a fetcher stuck in a
+	// MinDelay (or Crawl-delay) sleep wakes immediately instead of
+	// finishing the sleep before the engine notices the cancellation.
+	Ctx context.Context
 
 	robots robotsGate
 }
@@ -64,7 +70,7 @@ func (f *HTTP) admit(url string) error {
 	return f.robots.check(f.Client, f.UserAgent, url)
 }
 
-func (f *HTTP) politeWait(url string) {
+func (f *HTTP) politeWait(url string) error {
 	delay := f.MinDelay
 	// A robots.txt Crawl-delay longer than our politeness wins.
 	if f.RespectRobots {
@@ -76,7 +82,7 @@ func (f *HTTP) politeWait(url string) {
 	if limiter == nil {
 		limiter = SharedHostLimiter
 	}
-	limiter.Wait(hostKey(url), delay)
+	return limiter.WaitContext(f.Ctx, hostKey(url), delay)
 }
 
 // Get implements Fetcher.
@@ -84,10 +90,15 @@ func (f *HTTP) Get(url string) (Response, error) {
 	if err := f.admit(url); err != nil {
 		return Response{}, err
 	}
-	f.politeWait(url)
+	if err := f.politeWait(url); err != nil {
+		return Response{}, err
+	}
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return Response{}, err
+	}
+	if f.Ctx != nil {
+		req = req.WithContext(f.Ctx)
 	}
 	req.Header.Set("User-Agent", f.UserAgent)
 	httpResp, err := f.Client.Do(req)
@@ -130,10 +141,15 @@ func (f *HTTP) Head(url string) (Response, error) {
 	if err := f.admit(url); err != nil {
 		return Response{}, err
 	}
-	f.politeWait(url)
+	if err := f.politeWait(url); err != nil {
+		return Response{}, err
+	}
 	req, err := http.NewRequest(http.MethodHead, url, nil)
 	if err != nil {
 		return Response{}, err
+	}
+	if f.Ctx != nil {
+		req = req.WithContext(f.Ctx)
 	}
 	req.Header.Set("User-Agent", f.UserAgent)
 	httpResp, err := f.Client.Do(req)

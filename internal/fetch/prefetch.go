@@ -1,0 +1,212 @@
+package fetch
+
+import "sync"
+
+// Prefetcher is the speculative-fetch layer of the pipelined crawl engine:
+// it keeps a bounded window of asynchronous GETs in flight for the URLs a
+// strategy is most likely to select next, so the engine's own sequential
+// fetch finds the response already resident instead of paying a network
+// round trip.
+//
+// Because fetch results are pure functions of the URL (the simulated server
+// is deterministic, the replay database is append-once), a Prefetcher is
+// strictly a cache warm-up: Get(u) returns exactly what Backend.Get(u)
+// would, in the exact order the engine asks, so crawl results are
+// byte-identical to the sequential engine at every window width. Politeness
+// is untouched — speculative GETs go through the same backend chain, so a
+// live fetcher's HostLimiter spaces them like any other request.
+//
+// Speculative responses are consumed at most once: a Get for a hinted URL
+// removes it from the cache, and a hint for an already-tracked URL is a
+// no-op. URLs that are hinted but never fetched are evicted oldest-first
+// once the store outgrows its cap, bounding memory by O(window).
+//
+// The backend must be safe for concurrent use (Sim, Latency, the
+// mutex-guarded Replay, and HTTP all are). A Prefetcher is itself safe for
+// concurrent use, though the engine drives it from one goroutine.
+type Prefetcher struct {
+	backend Fetcher
+	window  int
+
+	mu      sync.Mutex
+	store   map[string]*speculative
+	order   []string            // hint arrival order, for oldest-first eviction
+	spent   map[string]struct{} // consumed or evicted: never speculate again
+	pending int                 // speculative fetches currently in flight
+	closed  bool
+	wg      sync.WaitGroup
+	stats   PrefetchStats
+}
+
+// speculative is one in-flight or completed speculative fetch.
+type speculative struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+// PrefetchStats counts the speculation outcomes of one crawl.
+type PrefetchStats struct {
+	// Launched is the number of speculative fetches started.
+	Launched int
+	// Hits is the number of Gets answered from the speculative store.
+	Hits int
+	// Misses is the number of Gets that fell through to the backend.
+	Misses int
+	// Evicted is the number of speculative results dropped unconsumed.
+	Evicted int
+}
+
+// storedFactor bounds how many completed-but-unconsumed speculative
+// responses may accumulate, as a multiple of the in-flight window.
+const storedFactor = 8
+
+// NewPrefetcher wraps a backend with a speculative window of the given
+// width. A width < 1 is clamped to 1 (Prefetch == 0 should simply not build
+// a Prefetcher).
+func NewPrefetcher(backend Fetcher, window int) *Prefetcher {
+	if window < 1 {
+		window = 1
+	}
+	return &Prefetcher{
+		backend: backend,
+		window:  window,
+		store:   make(map[string]*speculative),
+		spent:   make(map[string]struct{}),
+	}
+}
+
+// Hint submits speculative fetch candidates, most-likely-next first. URLs
+// already tracked — in flight, resident, or speculated before (consumed or
+// evicted) — are skipped, so one URL is never speculatively fetched twice;
+// once the in-flight window is full the rest of the batch is dropped
+// (hints are advisory, never queued).
+func (p *Prefetcher) Hint(urls ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	// Amortized cleanup: consumed entries leave holes in the order queue;
+	// drop them once they outnumber the live entries plus the store cap.
+	if len(p.order) > 2*len(p.store)+p.window*storedFactor {
+		p.compactOrderLocked()
+	}
+	for _, u := range urls {
+		if p.pending >= p.window {
+			return
+		}
+		if _, ok := p.store[u]; ok {
+			continue
+		}
+		if _, ok := p.spent[u]; ok {
+			continue
+		}
+		if len(p.store) >= p.window*storedFactor && !p.evictOldestLocked() {
+			return
+		}
+		s := &speculative{done: make(chan struct{})}
+		p.store[u] = s
+		p.order = append(p.order, u)
+		p.pending++
+		p.stats.Launched++
+		p.wg.Add(1)
+		go p.fetch(u, s)
+	}
+}
+
+// compactOrderLocked drops consumed holes from the order queue, keeping
+// live entries in arrival order.
+func (p *Prefetcher) compactOrderLocked() {
+	w := 0
+	for _, u := range p.order {
+		if _, ok := p.store[u]; ok {
+			p.order[w] = u
+			w++
+		}
+	}
+	p.order = p.order[:w]
+}
+
+// evictOldestLocked drops the oldest completed, unconsumed speculative
+// response, compacting consumed holes along the way (in-flight entries are
+// kept: a running fetch cannot be abandoned). It reports false when every
+// stored entry is still in flight.
+func (p *Prefetcher) evictOldestLocked() bool {
+	w := 0
+	evicted := false
+	for _, u := range p.order {
+		s, ok := p.store[u]
+		if !ok { // consumed: drop the hole
+			continue
+		}
+		if !evicted {
+			select {
+			case <-s.done:
+				delete(p.store, u)
+				p.spent[u] = struct{}{}
+				p.stats.Evicted++
+				evicted = true
+				continue
+			default:
+			}
+		}
+		p.order[w] = u
+		w++
+	}
+	p.order = p.order[:w]
+	return evicted
+}
+
+func (p *Prefetcher) fetch(u string, s *speculative) {
+	defer p.wg.Done()
+	s.resp, s.err = p.backend.Get(u)
+	close(s.done)
+	p.mu.Lock()
+	p.pending--
+	p.mu.Unlock()
+}
+
+// Get implements Fetcher: a hinted URL is answered from the speculative
+// store (blocking until its fetch lands, still one round trip ahead of the
+// sequential engine), anything else falls through to the backend.
+func (p *Prefetcher) Get(u string) (Response, error) {
+	p.mu.Lock()
+	s := p.store[u]
+	if s != nil {
+		delete(p.store, u)
+		p.spent[u] = struct{}{}
+		p.stats.Hits++
+	} else {
+		p.stats.Misses++
+	}
+	p.mu.Unlock()
+	if s == nil {
+		return p.backend.Get(u)
+	}
+	<-s.done
+	return s.resp, s.err
+}
+
+// Head implements Fetcher; HEADs are never speculated.
+func (p *Prefetcher) Head(u string) (Response, error) {
+	return p.backend.Head(u)
+}
+
+// Close stops accepting hints and blocks until every in-flight speculative
+// fetch has completed, so the backend is quiescent when the crawl returns
+// (required by fetchers that are reused across sequential crawls, e.g. the
+// experiments' shared Replay database).
+func (p *Prefetcher) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats snapshots the speculation counters.
+func (p *Prefetcher) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

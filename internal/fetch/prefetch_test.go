@@ -1,0 +1,205 @@
+package fetch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingFetcher is a concurrency-safe scripted backend that records its
+// traffic and can simulate a round trip.
+type countingFetcher struct {
+	mu    sync.Mutex
+	gets  map[string]int
+	delay time.Duration
+	peak  int32 // highest number of concurrent Gets observed
+	cur   int32
+}
+
+func newCountingFetcher(delay time.Duration) *countingFetcher {
+	return &countingFetcher{gets: make(map[string]int), delay: delay}
+}
+
+func (f *countingFetcher) Get(url string) (Response, error) {
+	cur := atomic.AddInt32(&f.cur, 1)
+	for {
+		peak := atomic.LoadInt32(&f.peak)
+		if cur <= peak || atomic.CompareAndSwapInt32(&f.peak, peak, cur) {
+			break
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	f.gets[url]++
+	f.mu.Unlock()
+	atomic.AddInt32(&f.cur, -1)
+	return Response{URL: url, Status: 200, MIME: "text/html", Body: []byte(url)}, nil
+}
+
+func (f *countingFetcher) Head(url string) (Response, error) {
+	return Response{URL: url, Status: 200, MIME: "text/html"}, nil
+}
+
+func (f *countingFetcher) count(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gets[url]
+}
+
+func TestPrefetcherServesHintedURL(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 4)
+	defer p.Close()
+	p.Hint("https://s.org/a")
+	resp, err := p.Get("https://s.org/a")
+	if err != nil || resp.Status != 200 || string(resp.Body) != "https://s.org/a" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if backend.count("https://s.org/a") != 1 {
+		t.Errorf("backend saw %d fetches, want exactly 1 (speculation consumed)", backend.count("https://s.org/a"))
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Launched != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPrefetcherConsumeOnce(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 4)
+	defer p.Close()
+	p.Hint("u")
+	if _, err := p.Get("u"); err != nil {
+		t.Fatal(err)
+	}
+	// Second Get must fall through to the backend, not a stale cache.
+	if _, err := p.Get("u"); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.count("u"); got != 2 {
+		t.Errorf("backend fetches = %d, want 2 (consume-once)", got)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPrefetcherWindowBoundsInFlight(t *testing.T) {
+	backend := newCountingFetcher(20 * time.Millisecond)
+	p := NewPrefetcher(backend, 3)
+	urls := make([]string, 10)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("u%d", i)
+	}
+	p.Hint(urls...)
+	p.Close() // waits for every launched fetch
+	if st := p.Stats(); st.Launched != 3 {
+		t.Errorf("launched %d speculative fetches, window is 3", st.Launched)
+	}
+	if peak := atomic.LoadInt32(&backend.peak); peak > 3 {
+		t.Errorf("observed %d concurrent fetches, window is 3", peak)
+	}
+}
+
+func TestPrefetcherDuplicateHintsCoalesce(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 8)
+	p.Hint("u", "u", "u")
+	p.Hint("u")
+	p.Close()
+	if got := backend.count("u"); got != 1 {
+		t.Errorf("backend fetches = %d, want 1 (hints coalesce)", got)
+	}
+}
+
+func TestPrefetcherCloseQuiesces(t *testing.T) {
+	backend := newCountingFetcher(10 * time.Millisecond)
+	p := NewPrefetcher(backend, 4)
+	p.Hint("a", "b", "c")
+	p.Close()
+	if cur := atomic.LoadInt32(&backend.cur); cur != 0 {
+		t.Errorf("%d fetches still in flight after Close", cur)
+	}
+	p.Hint("d") // post-Close hints are dropped
+	if st := p.Stats(); st.Launched != 3 {
+		t.Errorf("launched = %d after post-Close hint, want 3", st.Launched)
+	}
+}
+
+func TestPrefetcherEvictsOldestWhenStoreFull(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 1) // store cap = 1 * storedFactor
+	defer p.Close()
+	// Fill the store with never-consumed speculation, one at a time so
+	// the single-wide window never blocks a launch.
+	for i := 0; i < storedFactor; i++ {
+		p.Hint(fmt.Sprintf("stale%d", i))
+		// Wait for the fetch to land so the next Hint may launch.
+		waitIdle(t, p)
+	}
+	p.Hint("fresh")
+	waitIdle(t, p)
+	st := p.Stats()
+	if st.Launched != storedFactor+1 {
+		t.Fatalf("launched = %d, want %d (eviction must free a slot)", st.Launched, storedFactor+1)
+	}
+	if st.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", st.Evicted)
+	}
+	// The evicted entry was the oldest; "fresh" must still be resident.
+	if _, err := p.Get("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.count("fresh"); got != 1 {
+		t.Errorf("fresh fetched %d times, want 1 (still cached)", got)
+	}
+	// An evicted URL must never be speculated again: the frontier will
+	// keep hinting it, and a live crawl must not pay duplicate GETs.
+	p.Hint("stale0")
+	waitIdle(t, p)
+	if got := backend.count("stale0"); got != 1 {
+		t.Errorf("evicted stale0 re-fetched speculatively (%d fetches)", got)
+	}
+}
+
+// TestPrefetcherNeverSpeculatesTwice pins that a consumed speculation is
+// not relaunched by later hints: speculative traffic per URL is at most 1.
+func TestPrefetcherNeverSpeculatesTwice(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 4)
+	defer p.Close()
+	p.Hint("u")
+	if _, err := p.Get("u"); err != nil { // consumes the speculation
+		t.Fatal(err)
+	}
+	p.Hint("u")
+	waitIdle(t, p)
+	if got := backend.count("u"); got != 1 {
+		t.Errorf("backend fetches = %d, want 1 (no re-speculation)", got)
+	}
+	if st := p.Stats(); st.Launched != 1 {
+		t.Errorf("launched = %d, want 1", st.Launched)
+	}
+}
+
+// waitIdle blocks until the prefetcher has no fetch in flight.
+func waitIdle(t *testing.T, p *Prefetcher) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.mu.Lock()
+		pending := p.pending
+		p.mu.Unlock()
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prefetcher never went idle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,19 +1,29 @@
 package fetch
 
+import "sync"
+
 // Replay implements the local response database of Section 4.4: every
 // crawler "first checks if the resource is already stored in a local
 // database. If so, we use it; otherwise, we fetch it" and store the result.
 // Wrapping the same Replay around several crawler runs gives them the
 // identical view of the website that the paper's evaluation relies on.
+//
+// Replay is safe for concurrent use (the speculative prefetch layer issues
+// overlapping GETs). The lock is never held across a backend fetch, so
+// concurrent misses on one URL may fetch it twice; both results are equal
+// (the backend is deterministic) and either one is stored.
 type Replay struct {
 	backend Fetcher
-	gets    map[string]Response
-	heads   map[string]Response
 
-	// Hits and Misses count database lookups, for cache diagnostics.
-	Hits, Misses int
+	mu    sync.Mutex
+	gets  map[string]Response
+	heads map[string]Response
+	// hits and misses count database lookups, for cache diagnostics.
+	hits, misses int
+
 	// Frozen refuses backend fetches (semi-online → local-only mode); a
 	// frozen miss returns a 404 so crawlers degrade the way dead links do.
+	// Toggle only while no crawl is running.
 	Frozen bool
 }
 
@@ -28,45 +38,76 @@ func NewReplay(backend Fetcher) *Replay {
 
 // Get implements Fetcher.
 func (r *Replay) Get(url string) (Response, error) {
+	r.mu.Lock()
 	if resp, ok := r.gets[url]; ok {
-		r.Hits++
+		r.hits++
+		r.mu.Unlock()
 		return resp, nil
 	}
-	r.Misses++
-	if r.Frozen {
+	r.misses++
+	frozen := r.Frozen
+	r.mu.Unlock()
+	if frozen {
 		return Response{URL: url, Status: 404}, nil
 	}
 	resp, err := r.backend.Get(url)
 	if err != nil {
 		return resp, err
 	}
+	r.mu.Lock()
 	r.gets[url] = resp
+	r.mu.Unlock()
 	return resp, nil
 }
 
 // Head implements Fetcher. A stored GET also answers HEAD (same headers).
 func (r *Replay) Head(url string) (Response, error) {
+	r.mu.Lock()
 	if resp, ok := r.heads[url]; ok {
-		r.Hits++
+		r.hits++
+		r.mu.Unlock()
 		return resp, nil
 	}
 	if resp, ok := r.gets[url]; ok {
-		r.Hits++
+		r.hits++
+		r.mu.Unlock()
 		headResp := resp
 		headResp.Body = nil
 		return headResp, nil
 	}
-	r.Misses++
-	if r.Frozen {
+	r.misses++
+	frozen := r.Frozen
+	r.mu.Unlock()
+	if frozen {
 		return Response{URL: url, Status: 404}, nil
 	}
 	resp, err := r.backend.Head(url)
 	if err != nil {
 		return resp, err
 	}
+	r.mu.Lock()
 	r.heads[url] = resp
+	r.mu.Unlock()
 	return resp, nil
 }
 
 // Stored reports how many distinct GET responses the database holds.
-func (r *Replay) Stored() int { return len(r.gets) }
+func (r *Replay) Stored() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.gets)
+}
+
+// Hits reports how many lookups the database answered.
+func (r *Replay) Hits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
+
+// Misses reports how many lookups fell through to the backend.
+func (r *Replay) Misses() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.misses
+}

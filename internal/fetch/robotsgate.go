@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 
 	"sbcrawl/internal/robots"
 )
@@ -14,8 +15,10 @@ import (
 var ErrRobotsDisallowed = errors.New("fetch: disallowed by robots.txt")
 
 // robotsGate caches one robots policy per host and answers admission
-// questions for the live fetcher.
+// questions for the live fetcher. It is safe for concurrent use: the
+// speculative prefetch layer issues overlapping GETs through one fetcher.
 type robotsGate struct {
+	mu       sync.Mutex
 	policies map[string]*robots.Policy
 }
 
@@ -27,14 +30,24 @@ func (g *robotsGate) check(client *http.Client, userAgent, rawURL string) error 
 	if err != nil {
 		return err
 	}
+	host := u.Scheme + "://" + u.Host
+	g.mu.Lock()
 	if g.policies == nil {
 		g.policies = make(map[string]*robots.Policy)
 	}
-	host := u.Scheme + "://" + u.Host
 	policy, ok := g.policies[host]
+	g.mu.Unlock()
 	if !ok {
+		// Fetch outside the lock; concurrent first requests to one host
+		// may fetch robots.txt twice, and either (equal) policy wins.
 		policy = fetchPolicy(client, userAgent, host)
-		g.policies[host] = policy
+		g.mu.Lock()
+		if cached, ok := g.policies[host]; ok {
+			policy = cached
+		} else {
+			g.policies[host] = policy
+		}
+		g.mu.Unlock()
 	}
 	if !policy.Allowed(userAgent, u.Path) {
 		return ErrRobotsDisallowed
@@ -48,6 +61,8 @@ func (g *robotsGate) delay(userAgent, rawURL string) (d int64) {
 	if err != nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if p, ok := g.policies[u.Scheme+"://"+u.Host]; ok {
 		return int64(p.CrawlDelay(userAgent))
 	}

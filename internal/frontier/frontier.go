@@ -11,6 +11,16 @@ import (
 	"sort"
 )
 
+// Peeker is the speculative-selection capability of a frontier: Peek
+// returns up to n URLs the frontier is likely to pop soon, without removing
+// them and — crucially — without consuming any randomness, so peeking can
+// never change what a crawl does. The returned order is best-effort
+// (exact for FIFO/LIFO/priority frontiers, a uniform guess for randomized
+// ones); the pipelined engine feeds it to the prefetch layer as hints.
+type Peeker interface {
+	Peek(n int) []string
+}
+
 // Queue is a FIFO frontier (breadth-first crawling). The zero value is
 // ready to use.
 type Queue struct {
@@ -40,6 +50,17 @@ func (q *Queue) Pop() (string, bool) {
 // Len returns the number of queued URLs.
 func (q *Queue) Len() int { return len(q.items) - q.head }
 
+// Peek implements Peeker: the next n URLs in pop order.
+func (q *Queue) Peek(n int) []string {
+	if n > q.Len() {
+		n = q.Len()
+	}
+	if n <= 0 {
+		return nil
+	}
+	return append([]string(nil), q.items[q.head:q.head+n]...)
+}
+
 // Stack is a LIFO frontier (depth-first crawling). The zero value is ready
 // to use.
 type Stack struct {
@@ -61,6 +82,21 @@ func (s *Stack) Pop() (string, bool) {
 
 // Len returns the number of stacked URLs.
 func (s *Stack) Len() int { return len(s.items) }
+
+// Peek implements Peeker: the next n URLs in pop order (top first).
+func (s *Stack) Peek(n int) []string {
+	if n > len(s.items) {
+		n = len(s.items)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := len(s.items) - 1; i >= len(s.items)-n; i-- {
+		out = append(out, s.items[i])
+	}
+	return out
+}
 
 // Random is a frontier that pops a uniformly random member.
 type Random struct {
@@ -91,6 +127,21 @@ func (r *Random) Pop() (string, bool) {
 
 // Len returns the number of held URLs.
 func (r *Random) Len() int { return len(r.items) }
+
+// Peek implements Peeker. Which member the next Pop draws cannot be known
+// without consuming the RNG, so Peek returns an arbitrary-but-deterministic
+// n members (each a 1/Len guess); the prefetch layer keeps unconsumed
+// speculation around, so even "wrong" guesses pay off when their URL is
+// drawn later.
+func (r *Random) Peek(n int) []string {
+	if n > len(r.items) {
+		n = len(r.items)
+	}
+	if n <= 0 {
+		return nil
+	}
+	return append([]string(nil), r.items[len(r.items)-n:]...)
+}
 
 // Priority is a max-score frontier. Ties pop in insertion order, keeping
 // FOCUSED deterministic.
@@ -141,6 +192,49 @@ func (p *Priority) Pop() (string, float64, bool) {
 
 // Len returns the number of held URLs.
 func (p *Priority) Len() int { return p.h.Len() }
+
+// Peek implements Peeker: the n highest-scored URLs in pop order, without
+// disturbing the heap. A pruned descent over the heap structure — the
+// next-best item is always the root or a child of one already taken — costs
+// O(n²) for the small prefetch widths n, independent of the heap size.
+func (p *Priority) Peek(n int) []string {
+	if n > p.h.Len() {
+		n = p.h.Len()
+	}
+	if n <= 0 {
+		return nil
+	}
+	cand := make([]int, 1, n+2) // candidate heap indices; stays ≤ n+1 long
+	cand[0] = 0
+	out := make([]string, 0, n)
+	for len(out) < n {
+		bi := 0
+		for i := 1; i < len(cand); i++ {
+			if less(p.h[cand[i]], p.h[cand[bi]]) {
+				bi = i
+			}
+		}
+		idx := cand[bi]
+		cand[bi] = cand[len(cand)-1]
+		cand = cand[:len(cand)-1]
+		out = append(out, p.h[idx].url)
+		if l := 2*idx + 1; l < p.h.Len() {
+			cand = append(cand, l)
+		}
+		if r := 2*idx + 2; r < p.h.Len() {
+			cand = append(cand, r)
+		}
+	}
+	return out
+}
+
+// less reports whether a pops before b (higher score, then earlier seq).
+func less(a, b scoredItem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.seq < b.seq
+}
 
 // Rescore recomputes every held URL's score with fn and restores heap order
 // (used when FOCUSED retrains its classifier).
@@ -243,3 +337,37 @@ func (g *Grouped) ActionLen(action int) int { return len(g.byAction[action]) }
 
 // Len returns the total number of frontier links.
 func (g *Grouped) Len() int { return g.total }
+
+// Peek implements Peeker: up to n links drawn round-robin across the awake
+// actions (one per action, then a second per action, …), in increasing
+// action order. Which action the bandit selects — and which member the
+// uniform draw picks — cannot be known without consuming randomness, so
+// this spreads the speculation budget evenly across the actions instead.
+func (g *Grouped) Peek(n int) []string {
+	if n > g.total {
+		n = g.total
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	awake := g.Awake() // Peek mutates nothing, so one snapshot serves all rounds
+	for round := 0; len(out) < n; round++ {
+		took := false
+		for _, a := range awake {
+			links := g.byAction[a]
+			if round >= len(links) {
+				continue
+			}
+			out = append(out, links[round])
+			took = true
+			if len(out) == n {
+				return out
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}

@@ -275,3 +275,169 @@ func BenchmarkGroupedPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestQueueCompactionPastHeadThreshold drives Pop just past the 1024-head
+// compaction trigger while new pushes keep arriving, pinning that the
+// compaction slide never reorders, drops, or duplicates items.
+func TestQueueCompactionPastHeadThreshold(t *testing.T) {
+	var q Queue
+	const initial = 1100 // > the 1024 head threshold
+	for i := 0; i < initial; i++ {
+		q.Push(fmt.Sprintf("u%d", i))
+	}
+	// Pop across the threshold, pushing one new item per pop so the live
+	// window straddles the compaction point (head*2 > len fires mid-way).
+	next := initial
+	for i := 0; i < initial; i++ {
+		u, ok := q.Pop()
+		if !ok || u != fmt.Sprintf("u%d", i) {
+			t.Fatalf("pop %d = %q ok=%v, want u%d", i, u, ok, i)
+		}
+		q.Push(fmt.Sprintf("u%d", next))
+		next++
+	}
+	if q.Len() != initial {
+		t.Fatalf("Len = %d, want %d", q.Len(), initial)
+	}
+	// Drain: FIFO order must continue seamlessly across the compaction.
+	for i := initial; i < 2*initial; i++ {
+		u, ok := q.Pop()
+		if !ok || u != fmt.Sprintf("u%d", i) {
+			t.Fatalf("drain pop = %q ok=%v, want u%d", u, ok, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+// TestQueuePopAfterEmpty pins the empty-queue contract: Pop keeps reporting
+// !ok without disturbing state, and the queue remains usable afterwards.
+func TestQueuePopAfterEmpty(t *testing.T) {
+	var q Queue
+	q.Push("a")
+	if u, ok := q.Pop(); !ok || u != "a" {
+		t.Fatalf("pop = %q ok=%v", u, ok)
+	}
+	for i := 0; i < 3; i++ {
+		if u, ok := q.Pop(); ok || u != "" {
+			t.Fatalf("pop on empty = %q ok=%v, want \"\" false", u, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	q.Push("b")
+	if u, ok := q.Pop(); !ok || u != "b" {
+		t.Errorf("queue unusable after empty pops: %q ok=%v", u, ok)
+	}
+}
+
+// TestPeekMatchesPopOrder pins the Peeker contract for the deterministic
+// frontiers: Peek(n) previews exactly the next n pops, without consuming.
+func TestPeekMatchesPopOrder(t *testing.T) {
+	var q Queue
+	var s Stack
+	var p Priority
+	for i := 0; i < 6; i++ {
+		q.Push(fmt.Sprintf("u%d", i))
+		s.Push(fmt.Sprintf("u%d", i))
+		p.Push(fmt.Sprintf("u%d", i), float64(i%3))
+	}
+	check := func(name string, peek []string, pop func() (string, bool)) {
+		t.Helper()
+		for i, want := range peek {
+			got, ok := pop()
+			if !ok || got != want {
+				t.Errorf("%s: pop %d = %q ok=%v, want %q", name, i, got, ok, want)
+			}
+		}
+	}
+	check("Queue", q.Peek(4), q.Pop)
+	check("Stack", s.Peek(4), s.Pop)
+	check("Priority", p.Peek(4), func() (string, bool) { u, _, ok := p.Pop(); return u, ok })
+}
+
+// TestPeekOverAsk pins that Peek clamps to Len and never errors.
+func TestPeekOverAsk(t *testing.T) {
+	var q Queue
+	if got := q.Peek(3); len(got) != 0 {
+		t.Errorf("empty peek = %v", got)
+	}
+	q.Push("a")
+	if got := q.Peek(10); len(got) != 1 || got[0] != "a" {
+		t.Errorf("over-ask peek = %v", got)
+	}
+}
+
+// TestRandomPeekDoesNotConsumeRandomness pins the crucial Peeker property
+// for randomized frontiers: peeking must not change what Pop later draws.
+func TestRandomPeekDoesNotConsumeRandomness(t *testing.T) {
+	pops := func(peek bool) []string {
+		r := NewRandom(42)
+		for i := 0; i < 20; i++ {
+			r.Push(fmt.Sprintf("u%d", i))
+		}
+		var out []string
+		for {
+			if peek {
+				r.Peek(5)
+			}
+			u, ok := r.Pop()
+			if !ok {
+				break
+			}
+			out = append(out, u)
+		}
+		return out
+	}
+	a, b := pops(false), pops(true)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("Peek changed Pop sequence:\nwithout: %v\nwith:    %v", a, b)
+	}
+}
+
+// TestGroupedPeekDoesNotConsumeRandomness is the same property for the
+// action-grouped frontier of SB-CLASSIFIER.
+func TestGroupedPeekDoesNotConsumeRandomness(t *testing.T) {
+	pops := func(peek bool) []string {
+		g := NewGrouped(7)
+		for i := 0; i < 20; i++ {
+			g.Push(i%4, fmt.Sprintf("u%d", i))
+		}
+		var out []string
+		for g.Len() > 0 {
+			if peek {
+				g.Peek(6)
+			}
+			u, _, ok := g.PopAny()
+			if !ok {
+				break
+			}
+			out = append(out, u)
+		}
+		return out
+	}
+	a, b := pops(false), pops(true)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("Peek changed PopAny sequence:\nwithout: %v\nwith:    %v", a, b)
+	}
+}
+
+// TestGroupedPeekRoundRobin pins Peek's deterministic spread across awake
+// actions, in increasing action order.
+func TestGroupedPeekRoundRobin(t *testing.T) {
+	g := NewGrouped(1)
+	g.Push(2, "b0")
+	g.Push(0, "a0")
+	g.Push(0, "a1")
+	g.Push(5, "c0")
+	got := g.Peek(4)
+	want := []string{"a0", "b0", "c0", "a1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Peek = %v, want %v", got, want)
+	}
+	if g.Len() != 4 {
+		t.Errorf("Peek consumed items: Len = %d", g.Len())
+	}
+}

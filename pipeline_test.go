@@ -1,0 +1,197 @@
+package sbcrawl
+
+// Tests for the pipelined crawl engine: the speculative prefetch layer must
+// be invisible in results (byte-identical crawls at every window width, for
+// every strategy) and visible in wall-clock time (a latency-bound crawl
+// speeds up when the window opens).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// allStrategies is the full Section 4.3 lineup, oracle strategies included
+// (CrawlSite wires their ground truth).
+var allStrategies = []Strategy{
+	StrategySB, StrategySBOracle, StrategyBFS, StrategyDFS, StrategyRandom,
+	StrategyFocused, StrategyTPOff, StrategyTRES, StrategyOmniscient,
+}
+
+// TestPrefetchEquivalence is the pipeline's determinism gate: for every
+// strategy, CrawlSite with Prefetch ∈ {0, 4, 16} must return byte-identical
+// Results — targets in the same order, the same request count, the same
+// progress curve point for point. Prefetching is a cache warm-up, never a
+// behavior change.
+func TestPrefetchEquivalence(t *testing.T) {
+	site, err := GenerateSite("cn", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allStrategies {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			var sequential *Result
+			for _, width := range []int{0, 4, 16} {
+				res, err := CrawlSite(site, Config{Strategy: s, Seed: 2, Prefetch: width})
+				if err != nil {
+					t.Fatalf("prefetch=%d: %v", width, err)
+				}
+				if width == 0 {
+					sequential = res
+					continue
+				}
+				if !reflect.DeepEqual(sequential, res) {
+					t.Errorf("prefetch=%d diverged from sequential engine:\nseq:  req=%d targets=%d curve=%d\npipe: req=%d targets=%d curve=%d",
+						width, sequential.Requests, len(sequential.Targets), len(sequential.Curve),
+						res.Requests, len(res.Targets), len(res.Curve))
+				}
+			}
+		})
+	}
+	// Budget exhaustion is the trickiest wind-down path: speculative
+	// fetches must never consume budget the engine didn't charge.
+	t.Run("budgeted", func(t *testing.T) {
+		for _, s := range allStrategies {
+			var sequential *Result
+			for _, width := range []int{0, 4, 16} {
+				res, err := CrawlSite(budgeted, Config{Strategy: s, Seed: 7, MaxRequests: 40, Prefetch: width})
+				if err != nil {
+					t.Fatalf("%s prefetch=%d: %v", s, width, err)
+				}
+				if res.Requests > 40 {
+					t.Errorf("%s prefetch=%d charged %d requests over the budget of 40", s, width, res.Requests)
+				}
+				if width == 0 {
+					sequential = res
+					continue
+				}
+				if !reflect.DeepEqual(sequential, res) {
+					t.Errorf("%s prefetch=%d diverged under budget", s, width)
+				}
+			}
+		}
+	})
+}
+
+// TestPrefetchEquivalenceUnderLatency repeats the determinism gate with a
+// real round-trip delay, so speculative fetches genuinely overlap the
+// engine loop while results are compared.
+func TestPrefetchEquivalenceUnderLatency(t *testing.T) {
+	site, err := GenerateSite("ce", 0.005, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Strategy: StrategySB, Seed: 3, MaxRequests: 60, SimLatency: time.Millisecond}
+	sequential, err := CrawlSite(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Prefetch = 8
+	pipelined, err := CrawlSite(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sequential, pipelined) {
+		t.Error("pipelined crawl diverged from sequential under SimLatency")
+	}
+}
+
+// TestPrefetchPipelineSpeedup is the pipeline's reason to exist: on a
+// latency-bound crawl (the paper's budgeted regime with realistic RTT), a
+// prefetch window ≥ 8 must cut wall-clock time substantially. The engine's
+// sequential loop pays one RTT per request; BFS hints are exact, so the
+// pipeline should approach window-wide overlap. The acceptance bar is 2×;
+// this asserts a conservative 1.5× so scheduler noise cannot flake CI.
+func TestPrefetchPipelineSpeedup(t *testing.T) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Strategy: StrategyBFS, MaxRequests: 80, SimLatency: 4 * time.Millisecond}
+
+	crawl := func(prefetch int) (time.Duration, *Result) {
+		c := cfg
+		c.Prefetch = prefetch
+		start := time.Now()
+		res, err := CrawlSite(site, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), res
+	}
+	seqTime, seqRes := crawl(0)
+	pipeTime, pipeRes := crawl(8)
+	if !reflect.DeepEqual(seqRes, pipeRes) {
+		t.Fatal("speedup run diverged; determinism before speed")
+	}
+	speedup := float64(seqTime) / float64(pipeTime)
+	t.Logf("sequential %v, prefetch=8 %v, speedup %.1fx", seqTime, pipeTime, speedup)
+	if speedup < 1.5 {
+		t.Errorf("prefetch=8 speedup %.2fx < 1.5x on a latency-bound crawl (seq %v, pipelined %v)",
+			speedup, seqTime, pipeTime)
+	}
+}
+
+// TestPrefetchComposesWithFleet pins the two concurrency axes together:
+// a parallel fleet of pipelined crawls returns the same per-site results as
+// sequential unpipelined ones.
+func TestPrefetchComposesWithFleet(t *testing.T) {
+	codes := []string{"ab", "ce", "cl", "cn"}
+	sites := make([]*Site, len(codes))
+	for i, code := range codes {
+		site, err := GenerateSite(code, 0.005, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = site
+	}
+	base := Config{Seed: 1, MaxRequests: 50}
+	ref, err := CrawlSites(sites, base, FleetOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := base
+	piped.Prefetch = 8
+	got, err := CrawlSites(sites, piped, FleetOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Sites {
+		if !reflect.DeepEqual(ref.Sites[i].Result, got.Sites[i].Result) {
+			t.Errorf("site %s: workers=4+prefetch=8 diverged from workers=1+prefetch=0", codes[i])
+		}
+	}
+}
+
+// BenchmarkPrefetchPipeline is the perf-trajectory benchmark for the
+// pipelined engine: one latency-bound site crawl at increasing speculative
+// window widths. Compare ns/op across widths to read the speedup
+// (prefetch=0 is the sequential engine).
+func BenchmarkPrefetchPipeline(b *testing.B) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{0, 4, 8, 16} {
+		b.Run(fmt.Sprintf("prefetch=%d", width), func(b *testing.B) {
+			cfg := Config{
+				Strategy:    StrategyBFS,
+				MaxRequests: 80,
+				SimLatency:  2 * time.Millisecond,
+				Prefetch:    width,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CrawlSite(site, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

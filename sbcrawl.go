@@ -34,6 +34,20 @@
 // any number of calls may run in parallel — CrawlMany and CrawlSites are
 // the packaged form of that pattern. Config values are plain data and may
 // be reused freely.
+//
+// Within one crawl, the engine runs a staged pipeline: the crawl loop is a
+// strictly sequential select→fetch→ingest iteration, and Config.Prefetch
+// adds a speculative prefetch stage behind it — a bounded window of
+// asynchronous fetches for the URLs the strategy is most likely to select
+// next, hinted by the frontier itself. Selection and ingestion own all
+// crawl state and randomness, so results are byte-identical at every
+// prefetch width; only the fetch latency is hidden. Politeness survives
+// pipelining: speculative requests pass through the same process-wide
+// per-host rate limiter, so a host is never contacted faster than MinDelay
+// no matter how wide the window. The two concurrency axes compose — a
+// fleet overlaps crawls across sites while Prefetch overlaps requests
+// within each site. Cancellation (FleetOptions.Ctx) interrupts politeness
+// and simulated-latency sleeps promptly rather than finishing them.
 package sbcrawl
 
 import (
@@ -88,6 +102,23 @@ type Config struct {
 	// (CrawlSite / CrawlSites), modelling network round-trip time so
 	// parallel-fleet speedups are measurable; ignored by live crawls.
 	SimLatency time.Duration
+	// Prefetch pipelines the crawl: up to Prefetch speculative fetches for
+	// the strategy's likely-next URLs run concurrently behind the
+	// sequential crawl loop, hiding per-request latency inside a single
+	// site crawl (0 = off). Results are byte-identical whatever the
+	// value — prefetching is purely a cache warm-up — and per-host
+	// politeness still holds: speculative requests go through the same
+	// shared rate limiter as every other request. Composes with fleet
+	// parallelism (CrawlMany / CrawlSites): workers overlap across sites,
+	// Prefetch overlaps within each.
+	//
+	// On live crawls, note that speculative requests are real HTTP traffic
+	// that is not charged against MaxRequests (Result.Requests counts only
+	// what the crawl consumed): a site may receive up to one extra GET per
+	// discovered URL for speculation that is never used. Each URL is
+	// speculated at most once and spacing always respects Politeness, but
+	// budget-sensitive live crawls should keep Prefetch small or zero.
+	Prefetch int
 
 	// Theta is the tag-path similarity threshold θ (default 0.75).
 	Theta float64
@@ -160,11 +191,15 @@ func liveEnv(cfg Config, ctx context.Context) (*core.Env, error) {
 	if cfg.UserAgent != "" {
 		f.UserAgent = cfg.UserAgent
 	}
+	// The fetcher shares the crawl's context so a cancelled crawl
+	// interrupts politeness sleeps and in-flight requests promptly.
+	f.Ctx = ctx
 	return &core.Env{
 		Root:        cfg.Root,
 		Fetcher:     f,
 		MaxRequests: cfg.MaxRequests,
 		Ctx:         ctx,
+		Prefetch:    cfg.Prefetch,
 	}, nil
 }
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Perf trajectory: run the full benchmark suite once and record the raw
+# `go test -json` stream in BENCH_engine.json at the repo root. Every PR
+# that touches a hot path should regenerate the file so regressions are
+# visible in review; BENCH_store.json follows the same convention for the
+# storage layer. Compare runs with `grep ns/op` or `benchstat` on the
+# extracted Output lines.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_engine.json}
+go test -run '^$' -bench . -benchtime 1x -json ./... > "$OUT"
+echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2

@@ -1,9 +1,18 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, tests, and the race-detector pass.
-# Equivalent to `make ci`; kept as a script for environments without make.
+# Tier-1 verification: build (library, cmd/, examples/), vet, tests, the
+# race-detector pass, and the pipeline gates — the prefetch-equivalence
+# suite under -race (the pipelined engine must never silently regress
+# determinism) plus a benchmark smoke run (the bench suite must never
+# silently stop building). Equivalent to `make ci`; kept as a script for
+# environments without make.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
+# The race pass doubles as the pipeline determinism gate: it runs the
+# TestPrefetch* equivalence suite (byte-identical results at every prefetch
+# width) with the race detector watching the speculative fetch layer.
 go test -race ./...
+# Bench smoke: the perf-trajectory benchmarks still build and run.
+go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel' -benchtime 1x .

@@ -1,6 +1,7 @@
 package sbcrawl
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -69,22 +70,25 @@ func (s *Site) Handler() http.Handler { return s.server.Handler() }
 // CrawlSite runs any strategy against a simulated site, in memory, with all
 // ground truth wired for the oracle strategies. cfg.Root is ignored.
 func CrawlSite(site *Site, cfg Config) (*Result, error) {
-	return runCrawl(cfg, siteCrawlEnv(site, cfg), site.PageCount())
+	return runCrawl(cfg, siteCrawlEnv(site, cfg, nil), site.PageCount())
 }
 
 // siteCrawlEnv wires a fresh crawl Env over a simulated site: its own
 // fetcher (optionally latency-wrapped) plus the oracle hooks. Each call
 // returns an independent Env, so any number may crawl the same Site
-// concurrently.
-func siteCrawlEnv(site *Site, cfg Config) *core.Env {
+// concurrently. A non-nil ctx cancels the crawl and interrupts simulated
+// round-trip waits promptly.
+func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
 	var fetcher fetch.Fetcher = fetch.NewSim(site.server)
 	if cfg.SimLatency > 0 {
-		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency}
+		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency, Ctx: ctx}
 	}
 	return &core.Env{
 		Root:        site.site.Root(),
 		Fetcher:     fetcher,
 		MaxRequests: cfg.MaxRequests,
+		Ctx:         ctx,
+		Prefetch:    cfg.Prefetch,
 		OracleClass: func(u string) int {
 			pg, ok := site.site.Lookup(u)
 			if !ok {

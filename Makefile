@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-run fleet-bench pipeline-bench
+.PHONY: ci build vet test race bench bench-run fleet-bench pipeline-bench speculation-bench
 
 ci: vet test race
 
@@ -36,3 +36,8 @@ fleet-bench:
 # The sequential-vs-pipelined single-site speedup (Config.Prefetch).
 pipeline-bench:
 	$(GO) test -run '^$$' -bench BenchmarkPrefetchPipeline -benchtime 3x .
+
+# The adaptive speculation subsystem: self-tuning window vs the best fixed
+# width, and the fleet-shared speculation cache vs independent crawls.
+speculation-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache' -benchtime 3x .

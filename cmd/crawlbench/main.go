@@ -8,6 +8,8 @@
 //	crawlbench -exp fig4 -sites ce,ju -csv out/
 //	crawlbench -exp all
 //	crawlbench -exp table2 -parallel 0    (fan sites out across all cores)
+//	crawlbench -exp table2 -prefetch auto (adaptive speculation window)
+//	crawlbench -exp fig4 -prefetch 8 -stats   (append hit-rate report)
 //
 // Scale 0.002 shrinks every site to 1/500 of its paper size; shapes (who
 // wins, by what factor) are preserved, absolute counts are not.
@@ -18,10 +20,22 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
+	"sbcrawl/internal/core"
 	"sbcrawl/internal/experiments"
 )
+
+// parsePrefetch maps the -prefetch flag onto experiments.Config.Prefetch:
+// a window width, 0 for the sequential engine, or "auto" for the adaptive
+// self-tuning window.
+func parsePrefetch(s string) (int, error) {
+	if strings.EqualFold(s, "auto") {
+		return core.PrefetchAuto, nil
+	}
+	return strconv.Atoi(s)
+}
 
 func main() {
 	var (
@@ -34,11 +48,17 @@ func main() {
 		maxPages = flag.Int("maxpages", 0, "cap per-site page count (0 = none)")
 		csvDir   = flag.String("csv", "", "directory for figure CSV series")
 		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
-		prefetch = flag.Int("prefetch", 0, "speculative fetch window per crawl (0 = sequential engine)")
+		prefetch = flag.String("prefetch", "0", "speculative fetch window per crawl: a width, 0 (sequential engine), or 'auto' (adaptive)")
+		stats    = flag.Bool("stats", false, "append the speculation hit-rate report after the experiment (see -exp speculation)")
 	)
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	prefetchWidth, err := parsePrefetch(*prefetch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawlbench: bad -prefetch %q (want a width, 0, or 'auto')\n", *prefetch)
+		os.Exit(2)
 	}
 
 	if *list || *exp == "" {
@@ -58,7 +78,7 @@ func main() {
 		Runs:     *runs,
 		MaxPages: *maxPages,
 		Workers:  *parallel,
-		Prefetch: *prefetch,
+		Prefetch: prefetchWidth,
 		CSVDir:   *csvDir,
 		Out:      os.Stdout,
 	}
@@ -85,5 +105,12 @@ func main() {
 	if err := e.Run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "crawlbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *stats && *exp != "speculation" {
+		fmt.Println()
+		if err := experiments.RunSpeculation(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "crawlbench: speculation stats: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/fleet"
 	"sbcrawl/internal/metrics"
 	"sbcrawl/internal/urlutil"
@@ -25,6 +26,20 @@ type FleetOptions struct {
 	// context's error, and running crawls stop at their next request,
 	// contributing their partial results.
 	Ctx context.Context
+	// SharedSpeculation, together with a non-zero Config.Prefetch, shares
+	// speculative fetch results across the fleet's crawls, BUbiNG-style:
+	// several crawls of one site reuse each other's speculative GETs from
+	// a URL-keyed cache instead of re-fetching them. CrawlSites scopes one
+	// cache per distinct *Site (repeating a Site in the slice crawls it
+	// from several "entry points" that share the cache); CrawlMany scopes
+	// one cache per distinct UserAgent — robots.txt admission and response
+	// content may depend on the agent, so only crawls presenting the same
+	// fetch identity serve each other — with URL keys embedding the host,
+	// and entries pointing at one host must be crawling the same content.
+	// Per-site results stay byte-identical to unshared crawls: every
+	// cached response is exactly what the site would have served. Results
+	// still never depend on Workers.
+	SharedSpeculation bool
 }
 
 // SiteOutcome is one crawl of a fleet, in input order.
@@ -56,6 +71,25 @@ type FleetResult struct {
 	// sums every site's cumulative state after its own i-th request, with
 	// finished crawls carrying their final values forward.
 	Curve []CurvePoint
+	// Speculation sums the speculative-fetch outcomes of the fleet's
+	// pipelined crawls (all zero when Config.Prefetch was 0). Wall-clock
+	// diagnostic: the counters depend on fetch timing — use them to judge
+	// hint quality and shared-cache reuse, never to compare results.
+	Speculation SpeculationStats
+}
+
+// SpeculationStats reports speculative-fetch outcomes: fetches launched
+// ahead of demand, demand requests answered from speculation (Hits, of
+// which SharedHits came from the fleet-shared cache) or the backend
+// (Misses), speculation dropped unconsumed (Evicted), and HEAD probes
+// served speculatively (HeadHits).
+type SpeculationStats struct {
+	Launched   int
+	Hits       int
+	Misses     int
+	Evicted    int
+	HeadHits   int
+	SharedHits int
 }
 
 // CrawlMany runs one live crawl per Config concurrently, one site per
@@ -73,18 +107,35 @@ func CrawlMany(cfgs []Config, opts FleetOptions) (*FleetResult, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlMany needs at least one Config")
 	}
+	// One speculation cache per distinct UserAgent: a host may serve (and
+	// robots.txt may admit) different agents differently, so crawls only
+	// reuse fetches made with their own identity — a cache hit is then
+	// always a response this Config could have fetched itself.
+	var caches map[string]*fleet.SpecCache
+	if opts.SharedSpeculation {
+		caches = make(map[string]*fleet.SpecCache)
+		for _, cfg := range cfgs {
+			if caches[cfg.UserAgent] == nil {
+				caches[cfg.UserAgent] = fleet.NewSpecCache(0)
+			}
+		}
+	}
 	jobs := make([]fleet.Job, len(cfgs))
 	for i, cfg := range cfgs {
-		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg)}
+		var shared fetch.SharedStore
+		if c := caches[cfg.UserAgent]; c != nil {
+			shared = c
+		}
+		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg, shared)}
 	}
 	return runFleet(jobs, opts)
 }
 
 // liveJob builds the per-site closure running one live crawl, through the
 // same validation and wiring as Crawl (see liveEnv).
-func liveJob(cfg Config) func(ctx context.Context) (*core.Result, error) {
+func liveJob(cfg Config, shared fetch.SharedStore) func(ctx context.Context) (*core.Result, error) {
 	return func(ctx context.Context) (*core.Result, error) {
-		env, err := liveEnv(cfg, ctx)
+		env, err := liveEnv(cfg, ctx, shared)
 		if err != nil {
 			return nil, err
 		}
@@ -102,19 +153,35 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlSites needs at least one Site")
 	}
+	// One speculation cache per distinct Site: sharing is only sound when
+	// every member sees identical content per URL, which a Site guarantees
+	// and two different Sites (even of one profile, at another seed) do
+	// not.
+	var caches map[*Site]*fleet.SpecCache
+	if opts.SharedSpeculation {
+		caches = make(map[*Site]*fleet.SpecCache)
+		for _, site := range sites {
+			if caches[site] == nil {
+				caches[site] = fleet.NewSpecCache(0)
+			}
+		}
+	}
 	jobs := make([]fleet.Job, len(sites))
 	for i, site := range sites {
 		siteCfg := cfg
 		siteCfg.Seed = fleet.DeriveSeed(cfg.Seed, i)
-		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg)}
+		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg, caches[site])}
 	}
 	return runFleet(jobs, opts)
 }
 
 // simJob builds the per-site closure running one simulated crawl.
-func simJob(site *Site, cfg Config) func(ctx context.Context) (*core.Result, error) {
+func simJob(site *Site, cfg Config, shared *fleet.SpecCache) func(ctx context.Context) (*core.Result, error) {
 	return func(ctx context.Context) (*core.Result, error) {
 		env := siteCrawlEnv(site, cfg, ctx)
+		if shared != nil {
+			env.SharedSpec = shared
+		}
 		return runFleetCrawl(cfg, env, site.PageCount())
 	}
 }
@@ -144,6 +211,14 @@ func runFleet(jobs []fleet.Job, opts FleetOptions) (*FleetResult, error) {
 		Requests:       sum.Requests,
 		TargetBytes:    sum.TargetBytes,
 		NonTargetBytes: sum.NonTargetBytes,
+		Speculation: SpeculationStats{
+			Launched:   sum.Spec.Launched,
+			Hits:       sum.Spec.Hits,
+			Misses:     sum.Spec.Misses,
+			Evicted:    sum.Spec.Evicted,
+			HeadHits:   sum.Spec.HeadHits,
+			SharedHits: sum.Spec.SharedHits,
+		},
 	}
 	for i, s := range sum.Sites {
 		out.Sites[i] = SiteOutcome{Index: s.Index, Label: s.Label, Err: s.Err}

@@ -44,10 +44,21 @@ type Env struct {
 	// Prefetch, when > 0, pipelines the crawl: up to Prefetch speculative
 	// GETs for the strategy's likely-next URLs run concurrently behind the
 	// engine's sequential loop, hiding fetch latency inside a single site
-	// crawl. Results are byte-identical to Prefetch == 0 for every
-	// strategy; speculative requests are never charged to the budget. The
-	// Fetcher must be safe for concurrent Gets (all provided ones are).
+	// crawl. PrefetchAuto (any negative value) selects the adaptive
+	// controller instead: the window starts narrow and is widened or
+	// narrowed online as the strategy's hint accuracy becomes visible (see
+	// fetch.AutoTuner). Results are byte-identical to Prefetch == 0 for
+	// every strategy, fixed and adaptive alike; speculative requests are
+	// never charged to the budget. The Fetcher must be safe for concurrent
+	// Gets (all provided ones are).
 	Prefetch int
+	// SharedSpec, when non-nil and the crawl is pipelined, is the
+	// fleet-level shared speculation cache: speculative and demand GETs are
+	// published into it and cache misses consult it before the backend, so
+	// several crawls of one site reuse each other's fetches. The store must
+	// only be shared by crawls seeing identical content per URL (the fleet
+	// orchestrator scopes it per Site).
+	SharedSpec fetch.SharedStore
 
 	// OracleClass maps a URL to its true class (classify.Class*); used by
 	// SB-ORACLE and TRES. Nil for realistic crawlers.
@@ -58,6 +69,10 @@ type Env struct {
 	// OracleTargets lists every target URL; only OMNISCIENT may read it.
 	OracleTargets []string
 }
+
+// PrefetchAuto is the Env.Prefetch sentinel selecting the adaptive
+// speculation controller (self-tuning window width).
+const PrefetchAuto = -1
 
 func (e *Env) targetMIMEs() urlutil.MIMESet {
 	if e.TargetMIMEs != nil {
@@ -92,6 +107,12 @@ type Result struct {
 	// Confusion holds the URL classifier's confusion matrix for
 	// SB-CLASSIFIER; nil otherwise.
 	Confusion *classify.Confusion
+	// Spec snapshots the speculation outcomes of a pipelined crawl
+	// (Env.Prefetch != 0); nil for sequential crawls. Wall-clock diagnostic
+	// only: the counters depend on fetch timing and are deliberately kept
+	// out of the public Result, so the byte-identical determinism guarantee
+	// is unaffected.
+	Spec *fetch.PrefetchStats
 }
 
 // ActionStat summarizes one tag-path group after a crawl.
@@ -127,6 +148,8 @@ type engine struct {
 	env            *Env
 	fetcher        fetch.Fetcher     // Env.Fetcher, prefetch-wrapped when pipelining
 	prefetcher     *fetch.Prefetcher // nil when Env.Prefetch == 0
+	tuner          *fetch.AutoTuner  // adaptive window controller; nil unless PrefetchAuto
+	specStats      *fetch.PrefetchStats
 	scope          *urlutil.Scope
 	mimes          urlutil.MIMESet
 	meter          fetch.Meter
@@ -152,8 +175,16 @@ func newEngine(env *Env) (*engine, error) {
 		trace:   &Trace{},
 		seen:    make(map[string]bool),
 	}
-	if env.Prefetch > 0 && env.Fetcher != nil {
-		e.prefetcher = fetch.NewPrefetcher(env.Fetcher, env.Prefetch)
+	if env.Prefetch != 0 && env.Fetcher != nil {
+		width := env.Prefetch
+		if width < 0 { // PrefetchAuto: the tuner owns the width
+			e.tuner = fetch.NewAutoTuner()
+			width = e.tuner.Window()
+		}
+		e.prefetcher = fetch.NewPrefetcher(env.Fetcher, width)
+		if env.SharedSpec != nil {
+			e.prefetcher.SetShared(env.SharedSpec)
+		}
 		e.fetcher = e.prefetcher
 	}
 	return e, nil
@@ -166,7 +197,10 @@ func newEngine(env *Env) (*engine, error) {
 func (e *engine) close() {
 	if e.prefetcher != nil {
 		e.prefetcher.Close()
+		st := e.prefetcher.Stats()
+		e.specStats = &st
 		e.prefetcher = nil
+		e.tuner = nil
 		e.fetcher = e.env.Fetcher
 	}
 }
@@ -336,5 +370,6 @@ func (e *engine) result(name string, steps int) *Result {
 		TargetBytes:    e.targetBytes,
 		NonTargetBytes: e.nonTargetBytes,
 		Steps:          steps,
+		Spec:           e.specStats,
 	}
 }

@@ -52,11 +52,39 @@ func (e *engine) runStaged(p crawlPolicy) {
 }
 
 // speculate forwards the policy's likely-next URLs to the prefetch layer.
+// Under PrefetchAuto the adaptive tuner first re-evaluates the window from
+// the speculation outcomes so far (AIMD over the hit rate, see
+// fetch.AutoTuner), then the policy is asked for that many hints; with a
+// fixed Env.Prefetch the width never moves. Tuning reads only speculation
+// counters and writes only the window, so it can never change what the
+// crawl returns.
 func (e *engine) speculate(p crawlPolicy) {
 	if e.prefetcher == nil {
 		return
 	}
-	if hints := p.Hints(e.env.Prefetch); len(hints) > 0 {
+	width := e.env.Prefetch
+	if e.tuner != nil {
+		width = e.tuner.Observe(e.prefetcher.Stats())
+		e.prefetcher.SetWindow(width)
+	}
+	if hints := p.Hints(width); len(hints) > 0 {
 		e.prefetcher.Hint(hints...)
 	}
+}
+
+// speculateHeads routes upcoming HEAD probes through the speculation layer:
+// the SB classifier's initial training phase labels links by strictly
+// sequential HEAD requests, and hinting them here lets those round trips
+// overlap — the charged HEADs are then answered from resident speculation
+// (or from resident speculative GETs) instead of each paying the backend
+// latency. At most one window's worth is hinted so a warm-up that ends
+// mid-page does not leave a page of stale HEAD speculation behind.
+func (e *engine) speculateHeads(urls []string) {
+	if e.prefetcher == nil || len(urls) == 0 {
+		return
+	}
+	if w := e.prefetcher.Window(); len(urls) > w {
+		urls = urls[:w]
+	}
+	e.prefetcher.HintHeads(urls...)
 }

@@ -194,6 +194,7 @@ func (r *sbRun) ingestPage(pg page, action int, depth int) {
 	switch {
 	case pg.IsHTML:
 		r.cls.Observe(pg.FinalURL, classify.ClassHTML)
+		r.speculateWarmup(pg.Links)
 		for _, link := range pg.Links {
 			class, _ := r.cls.Classify(linkContext(link))
 			if class == classify.ClassTarget && depth < maxPredictedTargetDepth {
@@ -219,6 +220,28 @@ func (r *sbRun) ingestPage(pg page, action int, depth int) {
 	if action >= 0 && pg.IsHTML {
 		r.policy.RecordReward(action, float64(reward))
 	}
+}
+
+// speculateWarmup overlaps the classifier's initial-phase HEAD probes:
+// while Algorithm 2 still labels links by HEAD request, this page's links
+// are about to be probed one by one in the loop below, so their HEADs are
+// hinted to the speculation layer and the round trips proceed concurrently
+// ahead of the strictly sequential charged probes. A no-op once the
+// classifier has trained (probes stop) and for the oracle classifier
+// (which never probes).
+func (r *sbRun) speculateWarmup(links []dom.Link) {
+	if r.eng.prefetcher == nil || len(links) == 0 {
+		return
+	}
+	online, ok := r.cls.(*classify.Online)
+	if !ok || !online.InInitialPhase() {
+		return
+	}
+	urls := make([]string, len(links))
+	for i, l := range links {
+		urls[i] = l.URL
+	}
+	r.eng.speculateHeads(urls)
 }
 
 func linkContext(l dom.Link) classify.LinkContext {

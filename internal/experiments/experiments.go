@@ -42,7 +42,8 @@ type Config struct {
 	// in site order.
 	Workers int
 	// Prefetch pipelines every crawl with a speculative fetch window of
-	// this width (0 = sequential). Reports are identical whatever the
+	// this width (0 = sequential; negative = core.PrefetchAuto, the
+	// self-tuning adaptive window). Reports are identical whatever the
 	// value — prefetching only warms the replay database ahead of the
 	// crawl loop — so it composes with Workers: sites in parallel,
 	// requests pipelined within each site.
@@ -124,6 +125,7 @@ var All = []Experiment{
 	{"ablation-dim", "Ablation: projection dimension D = 2^m", RunAblationDim},
 	{"ablation-batch", "Ablation: classifier batch size b", RunAblationBatch},
 	{"ext-revisit", "Extension: incremental revisit policies (Sec. 6 future work)", RunRevisit},
+	{"speculation", "Speculative-fetch hit rates per strategy (adaptive window diagnostics)", RunSpeculation},
 }
 
 // ByID returns the experiment with the given ID.

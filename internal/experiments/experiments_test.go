@@ -26,7 +26,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table4-theta", "table5", "table6", "fig5", "table7", "confusion",
 		"earlystop", "fig15", "searchengines",
 		"ablation-policy", "ablation-reward", "ablation-dim", "ablation-batch",
-		"ext-revisit",
+		"ext-revisit", "speculation",
 	}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
+)
+
+// RunSpeculation reports the pipelined engine's speculation outcomes per
+// site and strategy: speculative fetches launched, demand requests answered
+// from speculation (hits) versus the backend (misses), speculation dropped
+// unconsumed (evicted), HEAD probes served speculatively, and the resulting
+// hit rate. It is the observability side of the adaptive prefetch window —
+// the same counters the AutoTuner steers by — and the report crawlbench's
+// -stats flag appends.
+//
+// Unlike the paper-artifact experiments, the numbers are wall-clock
+// diagnostics: how much speculation landed depends on fetch timing, so
+// they vary run to run while the crawls' results do not.
+func RunSpeculation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.Prefetch == 0 {
+		// A sequential engine has nothing to report; default to the
+		// adaptive window, the mode this report exists to observe.
+		cfg.Prefetch = core.PrefetchAuto
+	}
+	codes := sitesOrDefault(cfg, []string{"cl", "cn"})
+
+	type row struct {
+		crawler  string
+		requests int
+		spec     fetch.PrefetchStats
+	}
+	type siteRows struct {
+		code string
+		rows []row
+	}
+	results, err := forEachSite(cfg, codes, func(code string) (siteRows, error) {
+		se, err := buildSite(cfg, code)
+		if err != nil {
+			return siteRows{}, err
+		}
+		out := siteRows{code: code}
+		crawlers := []core.Crawler{
+			core.NewSB(core.SBConfig{Seed: cfg.Seed}),
+			core.NewBFS(),
+			core.NewRandom(cfg.Seed),
+		}
+		for _, c := range crawlers {
+			res, err := c.Run(se.env)
+			if err != nil {
+				return siteRows{}, fmt.Errorf("%s on %s: %w", c.Name(), code, err)
+			}
+			if res.Spec == nil {
+				continue
+			}
+			out.rows = append(out.rows, row{crawler: c.Name(), requests: res.Requests, spec: *res.Spec})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	mode := fmt.Sprintf("fixed %d", cfg.Prefetch)
+	if cfg.Prefetch < 0 {
+		mode = "auto (adaptive)"
+	}
+	fmt.Fprintf(cfg.Out, "Speculation outcomes (window: %s; diagnostic, timing-dependent)\n", mode)
+	fmt.Fprintf(cfg.Out, "%-5s %-14s %9s %9s %6s %6s %7s %9s %6s\n",
+		"site", "crawler", "requests", "launched", "hits", "miss", "evict", "headhits", "hit%")
+	for _, sr := range results {
+		for _, r := range sr.rows {
+			sp := r.spec
+			fmt.Fprintf(cfg.Out, "%-5s %-14s %9d %9d %6d %6d %7d %9d %5.1f%%\n",
+				sr.code, r.crawler, r.requests, sp.Launched, sp.Hits, sp.Misses,
+				sp.Evicted, sp.HeadHits, 100*sp.HitRate())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package fetch
+
+// The adaptive speculation controller: a Prefetcher's in-flight window is a
+// bet on how predictable the strategy's next selections are, and the right
+// width differs per site and per strategy (BFS hints are exact, bandit
+// hints are diffuse). Rather than asking the caller to tune Prefetch per
+// crawl, AutoTuner observes the speculation outcomes online and adjusts the
+// window the way TCP adjusts its congestion window: a slow-start ramp while
+// every hint lands, then additive increase / multiplicative decrease (AIMD)
+// around the first congestion signal — a sinking hit rate or eviction-heavy
+// speculation, both meaning the window outruns the hints' accuracy.
+//
+// The tuner only ever changes how wide the Prefetcher speculates, never
+// what the crawl returns: speculation is a pure cache warm-up, so results
+// stay byte-identical to the sequential engine whatever window trajectory
+// the tuner drives (its inputs are wall-clock dependent, its effects are
+// not observable in crawl results).
+
+// Tuning constants. The window is sampled every autoSampleEvery crawl
+// steps; rates are computed over the deltas since the previous sample, so
+// the tuner reacts to the crawl's current phase rather than its history.
+const (
+	autoMinWindow     = 1
+	autoMaxWindow     = 64
+	autoInitialWindow = 4
+	autoSampleEvery   = 4
+
+	// widenHitRate is the per-sample hit rate above which the window grows
+	// (hints are landing: speculate deeper).
+	widenHitRate = 0.7
+	// narrowHitRate is the per-sample hit rate below which the window is
+	// halved (hints are missing: most speculation is wasted traffic).
+	narrowHitRate = 0.3
+)
+
+// AutoTuner adapts a Prefetcher's in-flight window online. It is driven by
+// the crawl engine — one Observe per crawl step, from the engine's single
+// loop goroutine — and is not safe for concurrent use.
+type AutoTuner struct {
+	window int
+	ramp   bool // slow start: double until the first congestion signal
+	steps  int
+	last   PrefetchStats
+}
+
+// NewAutoTuner starts a tuner at the conservative initial window, in
+// slow-start mode.
+func NewAutoTuner() *AutoTuner {
+	return &AutoTuner{window: autoInitialWindow, ramp: true}
+}
+
+// Window returns the current window width.
+func (t *AutoTuner) Window() int { return t.window }
+
+// Observe feeds one crawl step's stats snapshot and returns the window to
+// speculate with. Every autoSampleEvery steps it re-evaluates: the hit rate
+// over the sample decides between growing (doubling while in slow start,
+// +2 afterwards), holding, and halving; eviction-heavy samples — more
+// speculation dropped than consumed — also halve, whatever the hit rate,
+// because they mean the store churns faster than the crawl consumes it.
+func (t *AutoTuner) Observe(st PrefetchStats) int {
+	t.steps++
+	if t.steps%autoSampleEvery != 0 {
+		return t.window
+	}
+	dHits := st.Hits - t.last.Hits
+	dMisses := st.Misses - t.last.Misses
+	dEvicted := st.Evicted - t.last.Evicted
+	dLaunched := st.Launched - t.last.Launched
+	t.last = st
+	lookups := dHits + dMisses
+	if lookups == 0 {
+		return t.window // no demand traffic this sample: nothing to learn
+	}
+	hitRate := float64(dHits) / float64(lookups)
+	evictionHeavy := dEvicted > 0 && 2*dEvicted > dLaunched
+	switch {
+	case hitRate < narrowHitRate || evictionHeavy:
+		t.ramp = false
+		t.window /= 2 // multiplicative decrease
+	case hitRate >= widenHitRate:
+		if t.ramp {
+			t.window *= 2 // slow start: find the plateau fast
+		} else {
+			t.window += 2 // additive increase
+		}
+	}
+	if t.window < autoMinWindow {
+		t.window = autoMinWindow
+	}
+	if t.window > autoMaxWindow {
+		t.window = autoMaxWindow
+	}
+	return t.window
+}

@@ -16,6 +16,21 @@ import "sync"
 // is untouched — speculative GETs go through the same backend chain, so a
 // live fetcher's HostLimiter spaces them like any other request.
 //
+// Beyond GETs, the layer speculates on two more fronts:
+//
+//   - HEAD probes (HintHeads): the classifier warm-up's strictly sequential
+//     HEAD round trips overlap the same way. A demand Head is answered from
+//     a speculated HEAD, or — without consuming it — from a resident
+//     speculative GET, whose status line and headers are exactly what a
+//     HEAD would have returned.
+//   - A fleet-shared store (SetShared): several crawls of one host publish
+//     their completed GETs into a URL-keyed cache and serve each other from
+//     it, BUbiNG-style, instead of re-fetching.
+//
+// The in-flight window is mutable (SetWindow): the adaptive speculation
+// controller widens or narrows it online as the strategy's hint accuracy
+// becomes visible in Stats.
+//
 // Speculative responses are consumed at most once: a Get for a hinted URL
 // removes it from the cache, and a hint for an already-tracked URL is a
 // no-op. URLs that are hinted but never fetched are evicted oldest-first
@@ -26,9 +41,10 @@ import "sync"
 // concurrent use, though the engine drives it from one goroutine.
 type Prefetcher struct {
 	backend Fetcher
-	window  int
 
 	mu      sync.Mutex
+	window  int         // in-flight cap; mutable via SetWindow
+	shared  SharedStore // fleet-level speculation cache; nil when solo
 	store   map[string]*speculative
 	order   []string            // hint arrival order, for oldest-first eviction
 	spent   map[string]struct{} // consumed or evicted: never speculate again
@@ -47,19 +63,61 @@ type speculative struct {
 
 // PrefetchStats counts the speculation outcomes of one crawl.
 type PrefetchStats struct {
-	// Launched is the number of speculative fetches started.
+	// Launched is the number of speculative fetches started (GET + HEAD).
 	Launched int
-	// Hits is the number of Gets answered from the speculative store.
+	// Hits is the number of Gets answered from speculation (the local
+	// store or the fleet-shared cache).
 	Hits int
 	// Misses is the number of Gets that fell through to the backend.
 	Misses int
 	// Evicted is the number of speculative results dropped unconsumed.
 	Evicted int
+	// HeadHits is the number of Heads answered from speculation: a
+	// speculated HEAD, a resident speculative GET (status and headers
+	// only), or the fleet-shared cache.
+	HeadHits int
+	// SharedHits is the number of lookups (GET or HEAD) answered by the
+	// fleet-shared cache rather than this crawl's own speculation.
+	SharedHits int
+}
+
+// HitRate is Hits over all Gets, the signal the adaptive controller tunes
+// the window by. Zero when no Get has been issued.
+func (s PrefetchStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// SharedStore is the fleet-level speculation cache a Prefetcher may consult
+// and feed (see fleet.SpecCache): a URL-keyed map of completed GET
+// responses shared by the crawls of one fleet. Implementations must be safe
+// for concurrent use and must only ever return responses that are valid for
+// the URL across every sharing crawl (the same site content).
+type SharedStore interface {
+	// Lookup returns the stored response for the URL, if any. It serves
+	// demand traffic and may be counted by the implementation.
+	Lookup(url string) (Response, bool)
+	// Contains reports residency without serving: the hint scan probes it
+	// on every batch, so implementations should keep it out of their
+	// demand hit/miss accounting.
+	Contains(url string) bool
+	// Publish offers a completed GET response for other crawls to reuse.
+	// Implementations may drop it (cache full, duplicate).
+	Publish(url string, resp Response)
 }
 
 // storedFactor bounds how many completed-but-unconsumed speculative
 // responses may accumulate, as a multiple of the in-flight window.
 const storedFactor = 8
+
+// headKeyPrefix namespaces speculative HEAD entries in the store, so a HEAD
+// probe and a GET for one URL are tracked (and spent) independently. URLs
+// never start with a NUL byte.
+const headKeyPrefix = "\x00HEAD\x00"
+
+func headKey(u string) string { return headKeyPrefix + u }
 
 // NewPrefetcher wraps a backend with a speculative window of the given
 // width. A width < 1 is clamped to 1 (Prefetch == 0 should simply not build
@@ -76,12 +134,53 @@ func NewPrefetcher(backend Fetcher, window int) *Prefetcher {
 	}
 }
 
-// Hint submits speculative fetch candidates, most-likely-next first. URLs
+// SetShared attaches the fleet-level speculation cache: Get and Head misses
+// consult it before the backend, and completed GETs are published into it.
+func (p *Prefetcher) SetShared(s SharedStore) {
+	p.mu.Lock()
+	p.shared = s
+	p.mu.Unlock()
+}
+
+// SetWindow resizes the in-flight window (clamped to ≥ 1). Narrowing never
+// abandons a running fetch — the window drains to the new width as in-flight
+// fetches land; widening takes effect at the next Hint.
+func (p *Prefetcher) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	p.window = n
+	p.mu.Unlock()
+}
+
+// Window returns the current in-flight window width.
+func (p *Prefetcher) Window() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.window
+}
+
+// Hint submits speculative GET candidates, most-likely-next first. URLs
 // already tracked — in flight, resident, or speculated before (consumed or
-// evicted) — are skipped, so one URL is never speculatively fetched twice;
-// once the in-flight window is full the rest of the batch is dropped
-// (hints are advisory, never queued).
+// evicted) — are skipped, as are URLs the fleet-shared cache already holds
+// (a guaranteed hit needs no fetch). The whole batch is always scanned;
+// a full in-flight window (or a store whose every entry is still in flight)
+// only stops further launches, never the scan, so cost-free skips late in
+// the batch are still taken. Hints are advisory and never queued.
 func (p *Prefetcher) Hint(urls ...string) {
+	p.hint(urls, false)
+}
+
+// HintHeads submits speculative HEAD candidates — the classifier warm-up's
+// probe targets — under the same window, dedup, and eviction rules as Hint.
+// A URL whose GET is already tracked is skipped: a resident speculative GET
+// answers the HEAD by itself.
+func (p *Prefetcher) HintHeads(urls ...string) {
+	p.hint(urls, true)
+}
+
+func (p *Prefetcher) hint(urls []string, head bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -93,25 +192,36 @@ func (p *Prefetcher) Hint(urls ...string) {
 		p.compactOrderLocked()
 	}
 	for _, u := range urls {
+		key := u
+		if head {
+			key = headKey(u)
+			// A tracked GET serves the HEAD on its own (see Head).
+			if _, ok := p.store[u]; ok {
+				continue
+			}
+		}
+		if _, ok := p.store[key]; ok {
+			continue
+		}
+		if _, ok := p.spent[key]; ok {
+			continue
+		}
+		if p.shared != nil && p.shared.Contains(u) {
+			continue // Get/Head will be served from the shared cache
+		}
 		if p.pending >= p.window {
-			return
-		}
-		if _, ok := p.store[u]; ok {
-			continue
-		}
-		if _, ok := p.spent[u]; ok {
-			continue
+			continue // window full: stop launching, keep scanning
 		}
 		if len(p.store) >= p.window*storedFactor && !p.evictOldestLocked() {
-			return
+			continue // store full of in-flight entries: nothing to free
 		}
 		s := &speculative{done: make(chan struct{})}
-		p.store[u] = s
-		p.order = append(p.order, u)
+		p.store[key] = s
+		p.order = append(p.order, key)
 		p.pending++
 		p.stats.Launched++
 		p.wg.Add(1)
-		go p.fetch(u, s)
+		go p.fetch(u, head, s)
 	}
 }
 
@@ -158,18 +268,28 @@ func (p *Prefetcher) evictOldestLocked() bool {
 	return evicted
 }
 
-func (p *Prefetcher) fetch(u string, s *speculative) {
+func (p *Prefetcher) fetch(u string, head bool, s *speculative) {
 	defer p.wg.Done()
-	s.resp, s.err = p.backend.Get(u)
+	if head {
+		s.resp, s.err = p.backend.Head(u)
+	} else {
+		s.resp, s.err = p.backend.Get(u)
+	}
 	close(s.done)
 	p.mu.Lock()
 	p.pending--
+	shared := p.shared
 	p.mu.Unlock()
+	if shared != nil && !head && s.err == nil {
+		shared.Publish(u, s.resp)
+	}
 }
 
 // Get implements Fetcher: a hinted URL is answered from the speculative
 // store (blocking until its fetch lands, still one round trip ahead of the
-// sequential engine), anything else falls through to the backend.
+// sequential engine) or the fleet-shared cache; anything else falls through
+// to the backend, whose successful response is published for the rest of
+// the fleet.
 func (p *Prefetcher) Get(u string) (Response, error) {
 	p.mu.Lock()
 	s := p.store[u]
@@ -177,20 +297,84 @@ func (p *Prefetcher) Get(u string) (Response, error) {
 		delete(p.store, u)
 		p.spent[u] = struct{}{}
 		p.stats.Hits++
-	} else {
-		p.stats.Misses++
+		p.mu.Unlock()
+		<-s.done
+		return s.resp, s.err
 	}
+	if p.shared != nil {
+		if resp, ok := p.shared.Lookup(u); ok {
+			p.spent[u] = struct{}{} // a shared hit never needs speculation
+			p.stats.Hits++
+			p.stats.SharedHits++
+			p.mu.Unlock()
+			return resp, nil
+		}
+	}
+	p.stats.Misses++
+	shared := p.shared
 	p.mu.Unlock()
-	if s == nil {
-		return p.backend.Get(u)
+	resp, err := p.backend.Get(u)
+	if shared != nil && err == nil {
+		shared.Publish(u, resp)
 	}
-	<-s.done
-	return s.resp, s.err
+	return resp, err
 }
 
-// Head implements Fetcher; HEADs are never speculated.
+// Head implements Fetcher. A speculated HEAD is consumed like a speculative
+// GET; failing that, a resident speculative GET answers the probe without
+// being consumed — its status line and headers are exactly what the backend
+// HEAD would return — and the fleet-shared cache is consulted last before
+// falling through to the backend.
 func (p *Prefetcher) Head(u string) (Response, error) {
+	hk := headKey(u)
+	p.mu.Lock()
+	if s := p.store[hk]; s != nil {
+		delete(p.store, hk)
+		p.spent[hk] = struct{}{}
+		p.mu.Unlock()
+		<-s.done
+		if s.err == nil {
+			p.countHeadHit()
+		}
+		return s.resp, s.err
+	}
+	if s := p.store[u]; s != nil {
+		p.mu.Unlock()
+		<-s.done // the GET stays resident; only its headers are read
+		if s.err == nil {
+			p.countHeadHit()
+			return headOf(s.resp), nil
+		}
+		return p.backend.Head(u)
+	}
+	if p.shared != nil {
+		if resp, ok := p.shared.Lookup(u); ok {
+			p.stats.HeadHits++
+			p.stats.SharedHits++
+			p.mu.Unlock()
+			return headOf(resp), nil
+		}
+	}
+	p.mu.Unlock()
 	return p.backend.Head(u)
+}
+
+// countHeadHit records a HEAD served from this crawl's own speculation
+// (shared-cache HEAD hits are counted inline in Head, under the lock it
+// already holds).
+func (p *Prefetcher) countHeadHit() {
+	p.mu.Lock()
+	p.stats.HeadHits++
+	p.mu.Unlock()
+}
+
+// headOf projects a GET response onto what the backend's HEAD would have
+// returned: the same status line and headers, no body and no banned-MIME
+// interruption mark (there was no body to interrupt).
+func headOf(resp Response) Response {
+	resp.Body = nil
+	resp.Interrupted = false
+	return resp
 }
 
 // Close stops accepting hints and blocks until every in-flight speculative

@@ -186,6 +186,382 @@ func TestPrefetcherNeverSpeculatesTwice(t *testing.T) {
 	}
 }
 
+// gatedFetcher blocks every Get/Head until release is closed, for tests
+// that need entries pinned in flight.
+type gatedFetcher struct {
+	countingFetcher
+	release chan struct{}
+}
+
+func newGatedFetcher() *gatedFetcher {
+	return &gatedFetcher{
+		countingFetcher: countingFetcher{gets: make(map[string]int)},
+		release:         make(chan struct{}),
+	}
+}
+
+func (f *gatedFetcher) Get(url string) (Response, error) {
+	<-f.release
+	return f.countingFetcher.Get(url)
+}
+
+func (f *gatedFetcher) Head(url string) (Response, error) {
+	<-f.release
+	return f.countingFetcher.Head(url)
+}
+
+// memShared is an in-memory SharedStore for tests.
+type memShared struct {
+	mu        sync.Mutex
+	m         map[string]Response
+	published int
+}
+
+func newMemShared() *memShared { return &memShared{m: make(map[string]Response)} }
+
+func (s *memShared) Lookup(u string) (Response, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[u]
+	return r, ok
+}
+
+func (s *memShared) Contains(u string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[u]
+	return ok
+}
+
+func (s *memShared) Publish(u string, r Response) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[u]; !ok {
+		s.m[u] = r
+		s.published++
+	}
+}
+
+func TestPrefetcherSpeculativeHeadConsumeOnce(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 4)
+	defer p.Close()
+	p.HintHeads("u")
+	waitIdle(t, p)
+	resp, err := p.Head("u")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if st := p.Stats(); st.Launched != 1 || st.HeadHits != 1 {
+		t.Errorf("stats = %+v, want 1 launch and 1 head hit", st)
+	}
+	// Consume-once: a second Head falls through to the backend.
+	if _, err := p.Head("u"); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.HeadHits != 1 {
+		t.Errorf("second Head served speculatively: %+v", st)
+	}
+	// A speculated HEAD must not block a later GET speculation of the
+	// same URL (independent namespaces).
+	p.Hint("u")
+	waitIdle(t, p)
+	if st := p.Stats(); st.Launched != 2 {
+		t.Errorf("launched = %d, want 2 (HEAD and GET speculate independently)", st.Launched)
+	}
+}
+
+func TestPrefetcherHeadServedFromResidentGet(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 4)
+	defer p.Close()
+	p.Hint("u")
+	waitIdle(t, p)
+	resp, err := p.Head("u")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if resp.Body != nil {
+		t.Error("a HEAD served from a speculative GET must carry no body")
+	}
+	if st := p.Stats(); st.HeadHits != 1 {
+		t.Errorf("stats = %+v, want the HEAD counted as a head hit", st)
+	}
+	// Non-consuming: the GET speculation is still resident for the real Get.
+	if _, err := p.Get("u"); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.count("u"); got != 1 {
+		t.Errorf("backend GETs = %d, want 1 (HEAD must not consume the speculation)", got)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Errorf("stats = %+v, want the Get to hit the still-resident speculation", st)
+	}
+}
+
+// TestPrefetcherHintScansFullBatch pins the batch-scan contract: a full
+// in-flight window stops launches but not the scan, and skipped URLs are
+// left untouched — not spent — so they remain speculatable once the window
+// frees up.
+func TestPrefetcherHintScansFullBatch(t *testing.T) {
+	backend := newGatedFetcher()
+	p := NewPrefetcher(backend, 1)
+	p.Hint("a") // fills the single-slot window, pinned in flight
+	p.Hint("b", "a", "c")
+	if st := p.Stats(); st.Launched != 1 {
+		t.Fatalf("launched = %d, want 1 (window full)", st.Launched)
+	}
+	p.mu.Lock()
+	for _, u := range []string{"b", "c"} {
+		if _, ok := p.spent[u]; ok {
+			t.Errorf("skipped %q was marked spent", u)
+		}
+	}
+	p.mu.Unlock()
+	close(backend.release)
+	waitIdle(t, p)
+	if _, err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	// The window is free again: the previously skipped URLs still launch.
+	p.Hint("b", "c")
+	waitIdle(t, p)
+	p.Hint("c")
+	waitIdle(t, p)
+	p.Close()
+	if st := p.Stats(); st.Launched != 3 {
+		t.Errorf("launched = %d, want 3 (b and c must still be speculatable)", st.Launched)
+	}
+}
+
+// TestPrefetcherEvictionAllInFlight pins the eviction edge case: when every
+// stored entry is still in flight there is nothing to free — eviction
+// reports false, keeps the store intact, and the hint is dropped without
+// deadlocking or abandoning a running fetch.
+func TestPrefetcherEvictionAllInFlight(t *testing.T) {
+	backend := newGatedFetcher()
+	p := NewPrefetcher(backend, 4)
+	p.Hint("a", "b", "c", "d") // four pinned in-flight entries
+	p.mu.Lock()
+	if got := len(p.store); got != 4 {
+		p.mu.Unlock()
+		t.Fatalf("store holds %d entries, want 4", got)
+	}
+	if p.evictOldestLocked() {
+		p.mu.Unlock()
+		t.Fatal("evictOldestLocked evicted an in-flight entry")
+	}
+	if len(p.store) != 4 || len(p.order) != 4 {
+		p.mu.Unlock()
+		t.Fatalf("failed eviction mutated the store: store=%d order=%d", len(p.store), len(p.order))
+	}
+	p.mu.Unlock()
+	close(backend.release)
+	waitIdle(t, p)
+	// Landed now: the oldest completed entry is evictable, exactly once
+	// per call, oldest-first.
+	p.mu.Lock()
+	if !p.evictOldestLocked() {
+		p.mu.Unlock()
+		t.Fatal("eviction failed with all entries completed")
+	}
+	_, aGone := p.store["a"]
+	_, bThere := p.store["b"]
+	p.mu.Unlock()
+	if aGone || !bThere {
+		t.Error("eviction order broken: want oldest (a) evicted, b kept")
+	}
+	p.Close()
+	if st := p.Stats(); st.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+// TestPrefetcherCompactionBoundary pins the order-queue compaction
+// threshold: holes are tolerated up to 2·live + window·storedFactor and
+// compacted away on the first Hint beyond it, so the queue's length tracks
+// the live entries, not the crawl's history.
+func TestPrefetcherCompactionBoundary(t *testing.T) {
+	backend := newCountingFetcher(0)
+	p := NewPrefetcher(backend, 1)
+	defer p.Close()
+	threshold := p.window * storedFactor // no live entries: 2*0 + cap
+	// Leave exactly threshold holes: hint+consume one URL at a time (the
+	// waitIdle keeps the next Hint from racing the in-flight decrement of
+	// the fetch the Get just consumed).
+	for i := 0; i < threshold; i++ {
+		u := fmt.Sprintf("u%d", i)
+		p.Hint(u)
+		if _, err := p.Get(u); err != nil {
+			t.Fatal(err)
+		}
+		waitIdle(t, p)
+	}
+	p.mu.Lock()
+	holes := len(p.order)
+	p.mu.Unlock()
+	if holes != threshold {
+		t.Fatalf("order holds %d holes, want %d (at the boundary, uncompacted)", holes, threshold)
+	}
+	// One more hole crosses the boundary; the next Hint must compact.
+	p.Hint("over")
+	if _, err := p.Get("over"); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, p)
+	p.Hint("fresh")
+	p.mu.Lock()
+	after := len(p.order)
+	p.mu.Unlock()
+	if after != 1 {
+		t.Errorf("order length after compaction = %d, want 1 (just the live entry)", after)
+	}
+	// Long-run bound: with one live entry resident, the queue never grows
+	// past 2·live + threshold + 1 before the next Hint compacts it.
+	for i := 0; i < 10*threshold; i++ {
+		u := fmt.Sprintf("v%d", i)
+		p.Hint(u)
+		if _, err := p.Get(u); err != nil {
+			t.Fatal(err)
+		}
+		waitIdle(t, p)
+		p.mu.Lock()
+		n := len(p.order)
+		p.mu.Unlock()
+		if n > threshold+3 {
+			t.Fatalf("order grew to %d, bound is %d", n, threshold+3)
+		}
+	}
+}
+
+func TestPrefetcherSetWindow(t *testing.T) {
+	backend := newCountingFetcher(time.Millisecond)
+	p := NewPrefetcher(backend, 2)
+	defer p.Close()
+	if p.Window() != 2 {
+		t.Fatalf("window = %d, want 2", p.Window())
+	}
+	p.SetWindow(0) // clamps
+	if p.Window() != 1 {
+		t.Fatalf("window = %d, want the floor 1", p.Window())
+	}
+	p.SetWindow(8)
+	urls := make([]string, 16)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("u%d", i)
+	}
+	p.Hint(urls...)
+	p.Close()
+	if st := p.Stats(); st.Launched != 8 {
+		t.Errorf("launched = %d, want the widened window 8", st.Launched)
+	}
+	if peak := atomic.LoadInt32(&backend.peak); peak > 8 {
+		t.Errorf("observed %d concurrent fetches, window is 8", peak)
+	}
+}
+
+func TestPrefetcherSharedStore(t *testing.T) {
+	backend := newCountingFetcher(0)
+	shared := newMemShared()
+	shared.m["warm"] = Response{URL: "warm", Status: 200, MIME: "text/html", Body: []byte("warm")}
+	p := NewPrefetcher(backend, 4)
+	p.SetShared(shared)
+	defer p.Close()
+
+	// A hint for a shared-resident URL launches nothing: the hit is free.
+	p.Hint("warm")
+	waitIdle(t, p)
+	if st := p.Stats(); st.Launched != 0 {
+		t.Fatalf("launched = %d speculations for a shared-resident URL", st.Launched)
+	}
+	resp, err := p.Get("warm")
+	if err != nil || string(resp.Body) != "warm" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if got := backend.count("warm"); got != 0 {
+		t.Errorf("backend GETs = %d, want 0 (served from the shared cache)", got)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.SharedHits != 1 {
+		t.Errorf("stats = %+v, want a shared hit counted", st)
+	}
+	// A HEAD is served from the shared GET too, body stripped.
+	if resp, err := p.Head("warm"); err != nil || resp.Body != nil || resp.Status != 200 {
+		t.Errorf("shared HEAD: resp=%+v err=%v", resp, err)
+	}
+
+	// Speculative and demand fetches both publish for the fleet.
+	p.Hint("spec")
+	waitIdle(t, p)
+	if _, err := p.Get("spec"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("demand"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"spec", "demand"} {
+		if _, ok := shared.Lookup(u); !ok {
+			t.Errorf("%s was not published to the shared store", u)
+		}
+	}
+}
+
+// TestPrefetcherConcurrentAccess exercises Hint/HintHeads/Get/Head/Stats/
+// SetWindow from many goroutines at once; it exists for the -race pass of
+// the CI gate, which watches the speculative layer under real interleaving.
+func TestPrefetcherConcurrentAccess(t *testing.T) {
+	backend := newCountingFetcher(100 * time.Microsecond)
+	shared := newMemShared()
+	p := NewPrefetcher(backend, 4)
+	p.SetShared(shared)
+	const n = 60
+	var wg sync.WaitGroup
+	wg.Add(5)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.Hint(fmt.Sprintf("u%d", i), fmt.Sprintf("u%d", i+1))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.HintHeads(fmt.Sprintf("u%d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := p.Get(fmt.Sprintf("u%d", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := p.Head(fmt.Sprintf("u%d", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.SetWindow(1 + i%8)
+			_ = p.Stats()
+			_ = p.Window()
+		}
+	}()
+	wg.Wait()
+	p.Close()
+	st := p.Stats()
+	if st.Hits+st.Misses != n {
+		t.Errorf("gets = %d, want %d", st.Hits+st.Misses, n)
+	}
+}
+
 // waitIdle blocks until the prefetcher has no fetch in flight.
 func waitIdle(t *testing.T, p *Prefetcher) {
 	t.Helper()

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/metrics"
 )
 
@@ -64,6 +65,10 @@ type Summary struct {
 	// metrics.MergeTraces): point i is the fleet's cumulative state after
 	// every site issued its i-th request.
 	Trace *core.Trace
+	// Spec sums the speculation counters of every pipelined crawl that
+	// produced a result (zero when none speculated). Wall-clock diagnostic
+	// only — the counters depend on fetch timing, never on results.
+	Spec fetch.PrefetchStats
 }
 
 // errNotRun marks jobs the pool never dispatched (context cancelled first).
@@ -120,6 +125,14 @@ func Run(jobs []Job, opts Options) (*Summary, error) {
 			sum.HeadRequests += s.Result.HeadRequests
 			sum.TargetBytes += s.Result.TargetBytes
 			sum.NonTargetBytes += s.Result.NonTargetBytes
+			if sp := s.Result.Spec; sp != nil {
+				sum.Spec.Launched += sp.Launched
+				sum.Spec.Hits += sp.Hits
+				sum.Spec.Misses += sp.Misses
+				sum.Spec.Evicted += sp.Evicted
+				sum.Spec.HeadHits += sp.HeadHits
+				sum.Spec.SharedHits += sp.SharedHits
+			}
 		}
 	}
 	traces := make([]*core.Trace, 0, len(sum.Sites))

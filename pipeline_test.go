@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"sbcrawl/internal/fleet"
 )
 
 // allStrategies is the full Section 4.3 lineup, oracle strategies included
@@ -19,11 +21,16 @@ var allStrategies = []Strategy{
 	StrategyFocused, StrategyTPOff, StrategyTRES, StrategyOmniscient,
 }
 
+// prefetchWidths is the determinism-gate sweep: off, two fixed windows,
+// and the adaptive controller (whose window trajectory is timing-dependent
+// — exactly why it must be in the gate).
+var prefetchWidths = []int{0, 4, 16, PrefetchAuto}
+
 // TestPrefetchEquivalence is the pipeline's determinism gate: for every
-// strategy, CrawlSite with Prefetch ∈ {0, 4, 16} must return byte-identical
-// Results — targets in the same order, the same request count, the same
-// progress curve point for point. Prefetching is a cache warm-up, never a
-// behavior change.
+// strategy, CrawlSite with Prefetch ∈ {0, 4, 16, auto} must return
+// byte-identical Results — targets in the same order, the same request
+// count, the same progress curve point for point. Prefetching is a cache
+// warm-up, never a behavior change, fixed and adaptive alike.
 func TestPrefetchEquivalence(t *testing.T) {
 	site, err := GenerateSite("cn", 0.01, 5)
 	if err != nil {
@@ -37,7 +44,7 @@ func TestPrefetchEquivalence(t *testing.T) {
 		s := s
 		t.Run(string(s), func(t *testing.T) {
 			var sequential *Result
-			for _, width := range []int{0, 4, 16} {
+			for _, width := range prefetchWidths {
 				res, err := CrawlSite(site, Config{Strategy: s, Seed: 2, Prefetch: width})
 				if err != nil {
 					t.Fatalf("prefetch=%d: %v", width, err)
@@ -59,7 +66,7 @@ func TestPrefetchEquivalence(t *testing.T) {
 	t.Run("budgeted", func(t *testing.T) {
 		for _, s := range allStrategies {
 			var sequential *Result
-			for _, width := range []int{0, 4, 16} {
+			for _, width := range prefetchWidths {
 				res, err := CrawlSite(budgeted, Config{Strategy: s, Seed: 7, MaxRequests: 40, Prefetch: width})
 				if err != nil {
 					t.Fatalf("%s prefetch=%d: %v", s, width, err)
@@ -92,13 +99,15 @@ func TestPrefetchEquivalenceUnderLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Prefetch = 8
-	pipelined, err := CrawlSite(site, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(sequential, pipelined) {
-		t.Error("pipelined crawl diverged from sequential under SimLatency")
+	for _, width := range []int{8, PrefetchAuto} {
+		cfg.Prefetch = width
+		pipelined, err := CrawlSite(site, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sequential, pipelined) {
+			t.Errorf("prefetch=%d crawl diverged from sequential under SimLatency", width)
+		}
 	}
 }
 
@@ -127,20 +136,31 @@ func TestPrefetchPipelineSpeedup(t *testing.T) {
 	}
 	seqTime, seqRes := crawl(0)
 	pipeTime, pipeRes := crawl(8)
-	if !reflect.DeepEqual(seqRes, pipeRes) {
+	autoTime, autoRes := crawl(PrefetchAuto)
+	if !reflect.DeepEqual(seqRes, pipeRes) || !reflect.DeepEqual(seqRes, autoRes) {
 		t.Fatal("speedup run diverged; determinism before speed")
 	}
 	speedup := float64(seqTime) / float64(pipeTime)
-	t.Logf("sequential %v, prefetch=8 %v, speedup %.1fx", seqTime, pipeTime, speedup)
+	autoSpeedup := float64(seqTime) / float64(autoTime)
+	t.Logf("sequential %v, prefetch=8 %v (%.1fx), auto %v (%.1fx)",
+		seqTime, pipeTime, speedup, autoTime, autoSpeedup)
 	if speedup < 1.5 {
 		t.Errorf("prefetch=8 speedup %.2fx < 1.5x on a latency-bound crawl (seq %v, pipelined %v)",
 			speedup, seqTime, pipeTime)
+	}
+	// The adaptive window must hide latency without tuning: BFS hints are
+	// exact, so the controller should ramp past the fixed width. The bar
+	// stays conservative (same 1.5x) so scheduler noise cannot flake CI;
+	// BenchmarkAdaptivePrefetch tracks the match-or-beat-fixed-8 target.
+	if autoSpeedup < 1.5 {
+		t.Errorf("adaptive speedup %.2fx < 1.5x on a latency-bound crawl (seq %v, auto %v)",
+			autoSpeedup, seqTime, autoTime)
 	}
 }
 
 // TestPrefetchComposesWithFleet pins the two concurrency axes together:
 // a parallel fleet of pipelined crawls returns the same per-site results as
-// sequential unpipelined ones.
+// sequential unpipelined ones, with a fixed and with an adaptive window.
 func TestPrefetchComposesWithFleet(t *testing.T) {
 	codes := []string{"ab", "ce", "cl", "cn"}
 	sites := make([]*Site, len(codes))
@@ -156,15 +176,88 @@ func TestPrefetchComposesWithFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	piped := base
-	piped.Prefetch = 8
-	got, err := CrawlSites(sites, piped, FleetOptions{Workers: 4})
+	for _, width := range []int{8, PrefetchAuto} {
+		piped := base
+		piped.Prefetch = width
+		got, err := CrawlSites(sites, piped, FleetOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Sites {
+			if !reflect.DeepEqual(ref.Sites[i].Result, got.Sites[i].Result) {
+				t.Errorf("site %s: workers=4+prefetch=%d diverged from workers=1+prefetch=0", codes[i], width)
+			}
+		}
+	}
+}
+
+// TestSharedSpeculationEquivalence is the determinism gate for the
+// fleet-shared speculation cache: a fleet crawling one Site from several
+// entry points (the same Site repeated, mixed with distinct sites) with
+// SharedSpeculation on must return per-site results byte-identical to
+// solo sequential crawls — a shared cache hit serves exactly what the site
+// would have served.
+func TestSharedSpeculationEquivalence(t *testing.T) {
+	cl, err := GenerateSite("cl", 0.01, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range ref.Sites {
-		if !reflect.DeepEqual(ref.Sites[i].Result, got.Sites[i].Result) {
-			t.Errorf("site %s: workers=4+prefetch=8 diverged from workers=1+prefetch=0", codes[i])
+	cn, err := GenerateSite("cn", 0.005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cl appears three times: three crawls sharing one speculation cache.
+	sites := []*Site{cl, cn, cl, cl}
+	base := Config{Seed: 9, MaxRequests: 60, SimLatency: time.Millisecond}
+	ref, err := CrawlSites(sites, base, FleetOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{8, PrefetchAuto} {
+		shared := base
+		shared.Prefetch = width
+		got, err := CrawlSites(sites, shared, FleetOptions{Workers: 4, SharedSpeculation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Sites {
+			if !reflect.DeepEqual(ref.Sites[i].Result, got.Sites[i].Result) {
+				t.Errorf("entry %d (%s): shared speculation at prefetch=%d diverged from solo sequential crawl",
+					i, sites[i].Code(), width)
+			}
+		}
+	}
+	// The public aggregate must reflect the sharing. Workers=1 makes it
+	// deterministic that the second cl crawl reuses the first one's
+	// published fetches (its root GET at the very least).
+	seqCfg := base
+	seqCfg.Prefetch = 8
+	seqShared, err := CrawlSites([]*Site{cl, cl}, seqCfg, FleetOptions{Workers: 1, SharedSpeculation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := seqShared.Speculation; sp.Launched == 0 || sp.SharedHits == 0 {
+		t.Errorf("fleet speculation stats not surfaced: %+v", sp)
+	}
+
+	// Sharing across every strategy, against per-site sequential truth.
+	for _, s := range allStrategies {
+		cfg := Config{Strategy: s, Seed: 2, MaxRequests: 40, Prefetch: 8}
+		fleetRes, err := CrawlSites([]*Site{cl, cl}, cfg, FleetOptions{Workers: 2, SharedSpeculation: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		for i, outcome := range fleetRes.Sites {
+			solo := cfg
+			solo.Seed = fleet.DeriveSeed(cfg.Seed, i)
+			solo.Prefetch = 0
+			want, err := CrawlSite(cl, solo)
+			if err != nil {
+				t.Fatalf("%s solo: %v", s, err)
+			}
+			if !reflect.DeepEqual(want, outcome.Result) {
+				t.Errorf("%s entry %d: shared speculation diverged from sequential", s, i)
+			}
 		}
 	}
 }
@@ -190,6 +283,88 @@ func BenchmarkPrefetchPipeline(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := CrawlSite(site, cfg); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptivePrefetch pits the self-tuning window against the fixed
+// widths on the same latency-bound crawl as BenchmarkPrefetchPipeline. The
+// acceptance target: auto matches or beats the best fixed width (≥ the
+// prefetch=8 speedup over sequential) with no per-strategy tuning — BFS
+// hints are exact, so the controller should slow-start past 8 within a few
+// samples. The sb sub-bench shows the other side: diffuse bandit hints,
+// where auto must stay useful without drowning the host in wasted
+// speculation.
+func BenchmarkAdaptivePrefetch(b *testing.B) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := CrawlSite(site, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	base := Config{
+		Strategy:    StrategyBFS,
+		MaxRequests: 80,
+		SimLatency:  2 * time.Millisecond,
+	}
+	for _, c := range []struct {
+		name  string
+		width int
+	}{
+		{"bfs/sequential", 0},
+		{"bfs/fixed=8", 8},
+		{"bfs/auto", PrefetchAuto},
+	} {
+		cfg := base
+		cfg.Prefetch = c.width
+		b.Run(c.name, func(b *testing.B) { run(b, cfg) })
+	}
+	sb := base
+	sb.Strategy = StrategySB
+	sb.Seed = 2
+	for _, c := range []struct {
+		name  string
+		width int
+	}{
+		{"sb/sequential", 0},
+		{"sb/auto", PrefetchAuto},
+	} {
+		cfg := sb
+		cfg.Prefetch = c.width
+		b.Run(c.name, func(b *testing.B) { run(b, cfg) })
+	}
+}
+
+// BenchmarkFleetSharedCache measures the fleet-shared speculation cache:
+// four crawls of one site (distinct seeds, one shared URL space) under
+// realistic latency, with and without SharedSpeculation. With sharing on,
+// later crawls serve their fetches from the cache the first crawls warmed,
+// so the fleet's wall-clock time drops well below four independent crawls.
+func BenchmarkFleetSharedCache(b *testing.B) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := []*Site{site, site, site, site}
+	cfg := Config{Seed: 1, MaxRequests: 60, SimLatency: 2 * time.Millisecond, Prefetch: 8}
+	for _, sharedOn := range []bool{false, true} {
+		b.Run(fmt.Sprintf("shared=%t", sharedOn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := CrawlSites(sites, cfg, FleetOptions{Workers: 4, SharedSpeculation: sharedOn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed > 0 {
+					b.Fatalf("%d crawls failed", res.Failed)
 				}
 			}
 		})

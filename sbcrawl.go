@@ -44,10 +44,15 @@
 // prefetch width; only the fetch latency is hidden. Politeness survives
 // pipelining: speculative requests pass through the same process-wide
 // per-host rate limiter, so a host is never contacted faster than MinDelay
-// no matter how wide the window. The two concurrency axes compose — a
-// fleet overlaps crawls across sites while Prefetch overlaps requests
-// within each site. Cancellation (FleetOptions.Ctx) interrupts politeness
-// and simulated-latency sleeps promptly rather than finishing them.
+// no matter how wide the window. Config.Prefetch = PrefetchAuto makes the
+// window self-tuning — an AIMD controller widens it while hints keep
+// landing and narrows it when speculation is wasted — and
+// FleetOptions.SharedSpeculation lets a fleet's crawls of one site serve
+// each other from a shared speculation cache. The two concurrency axes
+// compose — a fleet overlaps crawls across sites while Prefetch overlaps
+// requests within each site. Cancellation (FleetOptions.Ctx) interrupts
+// politeness and simulated-latency sleeps promptly rather than finishing
+// them.
 package sbcrawl
 
 import (
@@ -105,19 +110,31 @@ type Config struct {
 	// Prefetch pipelines the crawl: up to Prefetch speculative fetches for
 	// the strategy's likely-next URLs run concurrently behind the
 	// sequential crawl loop, hiding per-request latency inside a single
-	// site crawl (0 = off). Results are byte-identical whatever the
-	// value — prefetching is purely a cache warm-up — and per-host
+	// site crawl (0 = off). PrefetchAuto selects the adaptive controller
+	// instead of a fixed width: the speculation window starts narrow and
+	// is widened or narrowed online — AIMD over the observed hint hit
+	// rate — so latency hiding tracks the strategy's predictability (BFS
+	// hints are exact, bandit hints are diffuse) without per-strategy
+	// tuning. Results are byte-identical whatever the value, adaptive
+	// included — prefetching is purely a cache warm-up — and per-host
 	// politeness still holds: speculative requests go through the same
 	// shared rate limiter as every other request. Composes with fleet
 	// parallelism (CrawlMany / CrawlSites): workers overlap across sites,
-	// Prefetch overlaps within each.
+	// Prefetch overlaps within each; see FleetOptions.SharedSpeculation
+	// for cross-crawl reuse of speculative fetches.
+	//
+	// While the SB classifier is in its initial training phase, its HEAD
+	// probes ride the same speculation window, so the warm-up's round
+	// trips overlap too instead of running strictly sequentially.
 	//
 	// On live crawls, note that speculative requests are real HTTP traffic
 	// that is not charged against MaxRequests (Result.Requests counts only
-	// what the crawl consumed): a site may receive up to one extra GET per
-	// discovered URL for speculation that is never used. Each URL is
-	// speculated at most once and spacing always respects Politeness, but
-	// budget-sensitive live crawls should keep Prefetch small or zero.
+	// what the crawl consumed): a site may receive up to one extra
+	// GET — or, during classifier warm-up, HEAD — per discovered URL for
+	// speculation that is never used. Each URL is speculated at most once
+	// and spacing always respects Politeness, but budget-sensitive live
+	// crawls should keep Prefetch small or zero; PrefetchAuto narrows
+	// quickly when speculation is not paying off.
 	Prefetch int
 
 	// Theta is the tag-path similarity threshold θ (default 0.75).
@@ -134,6 +151,11 @@ type Config struct {
 	// UserAgent identifies the live crawler.
 	UserAgent string
 }
+
+// PrefetchAuto is the Config.Prefetch value selecting the adaptive
+// speculation controller: the prefetch window tunes itself per crawl
+// instead of using a fixed width. Any negative Prefetch behaves the same.
+const PrefetchAuto = core.PrefetchAuto
 
 // CurvePoint is one sample of a crawl's progress curve.
 type CurvePoint struct {
@@ -165,7 +187,7 @@ type Result struct {
 // Only network-feasible strategies are allowed; oracle strategies need a
 // simulated site and are rejected here.
 func Crawl(cfg Config) (*Result, error) {
-	env, err := liveEnv(cfg, nil)
+	env, err := liveEnv(cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +197,9 @@ func Crawl(cfg Config) (*Result, error) {
 // liveEnv validates a live-crawl Config and wires its Env: one fresh polite
 // HTTP fetcher per crawl (politeness is coordinated across crawls by the
 // process-wide fetch.SharedHostLimiter), with an optional cancellation
-// context. Shared by Crawl and CrawlMany so the two never diverge.
-func liveEnv(cfg Config, ctx context.Context) (*core.Env, error) {
+// context and an optional fleet-shared speculation store. Shared by Crawl
+// and CrawlMany so the two never diverge.
+func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.Env, error) {
 	if cfg.Root == "" {
 		return nil, fmt.Errorf("sbcrawl: Config.Root is required")
 	}
@@ -200,6 +223,7 @@ func liveEnv(cfg Config, ctx context.Context) (*core.Env, error) {
 		MaxRequests: cfg.MaxRequests,
 		Ctx:         ctx,
 		Prefetch:    cfg.Prefetch,
+		SharedSpec:  shared,
 	}, nil
 }
 

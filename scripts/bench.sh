@@ -3,10 +3,33 @@
 # `go test -json` stream in BENCH_engine.json at the repo root. Every PR
 # that touches a hot path should regenerate the file so regressions are
 # visible in review; BENCH_store.json follows the same convention for the
-# storage layer. Compare runs with `grep ns/op` or `benchstat` on the
-# extracted Output lines.
+# storage layer.
+#
+# Comparing BENCH files across PRs: `scripts/bench.sh extract <file>`
+# recovers the plain benchmark lines from the JSON stream in a
+# benchstat-ready shape, so two PRs diff with
+#
+#   scripts/bench.sh extract old/BENCH_engine.json > old.txt
+#   scripts/bench.sh extract BENCH_engine.json     > new.txt
+#   benchstat old.txt new.txt        # or: diff old.txt new.txt / grep ns/op
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "extract" ]; then
+	# Pull the benchmark Output events out of a `go test -json` stream and
+	# unescape them back into `go test -bench` text (benchstat's format).
+	# A result line is streamed as two events — the bench name, then the
+	# measurements — so the payloads are concatenated before splitting on
+	# the embedded newlines.
+	IN=${2:-BENCH_engine.json}
+	grep '"Action":"output"' "$IN" \
+		| sed 's/.*"Output":"//; s/"}$//' \
+		| tr -d '\n' \
+		| sed 's/\\n/\n/g' \
+		| sed 's/\\t/\t/g; s/\\"/"/g; s/\\\\/\\/g' \
+		| grep '^Benchmark.*ns/op'
+	exit 0
+fi
 
 OUT=${1:-BENCH_engine.json}
 go test -run '^$' -bench . -benchtime 1x -json ./... > "$OUT"

@@ -14,5 +14,7 @@ go test ./...
 # TestPrefetch* equivalence suite (byte-identical results at every prefetch
 # width) with the race detector watching the speculative fetch layer.
 go test -race ./...
-# Bench smoke: the perf-trajectory benchmarks still build and run.
-go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel' -benchtime 1x .
+# Bench smoke: the perf-trajectory benchmarks still build and run — the
+# pipeline widths, the fleet speedup, the adaptive speculation window, and
+# the fleet-shared speculation cache.
+go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel|BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache' -benchtime 1x .

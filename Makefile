@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-run fleet-bench pipeline-bench speculation-bench
+.PHONY: ci build vet test race bench bench-run bench-store fleet-bench pipeline-bench speculation-bench
 
 ci: vet test race
 
@@ -41,3 +41,8 @@ pipeline-bench:
 # width, and the fleet-shared speculation cache vs independent crawls.
 speculation-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache' -benchtime 3x .
+
+# The persistent crawl store: segment-log round trip, snapshot compaction,
+# and resume (index rebuild) overhead → BENCH_store.json.
+bench-store:
+	sh scripts/bench.sh store

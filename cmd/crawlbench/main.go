@@ -10,6 +10,9 @@
 //	crawlbench -exp table2 -parallel 0    (fan sites out across all cores)
 //	crawlbench -exp table2 -prefetch auto (adaptive speculation window)
 //	crawlbench -exp fig4 -prefetch 8 -stats   (append hit-rate report)
+//	crawlbench -exp resume -store /tmp/cs     (kill-and-resume smoke over the
+//	                                           persistent store)
+//	crawlbench -exp table2 -store /tmp/cs -resume  (replay cached responses)
 //
 // Scale 0.002 shrinks every site to 1/500 of its paper size; shapes (who
 // wins, by what factor) are preserved, absolute counts are not.
@@ -50,6 +53,8 @@ func main() {
 		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
 		prefetch = flag.String("prefetch", "0", "speculative fetch window per crawl: a width, 0 (sequential engine), or 'auto' (adaptive)")
 		stats    = flag.Bool("stats", false, "append the speculation hit-rate report after the experiment (see -exp speculation)")
+		storeDir = flag.String("store", "", "persistent crawl store directory: responses spill to an append-only segment log and replay on later runs (see -exp resume)")
+		resume   = flag.Bool("resume", false, "mark the run as a continuation over -store: previously fetched responses replay from disk instead of re-fetching")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -73,18 +78,30 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Scale:    *scale,
-		Seed:     *seed,
-		Runs:     *runs,
-		MaxPages: *maxPages,
-		Workers:  *parallel,
-		Prefetch: prefetchWidth,
-		CSVDir:   *csvDir,
-		Out:      os.Stdout,
+		Scale:     *scale,
+		Seed:      *seed,
+		Runs:      *runs,
+		MaxPages:  *maxPages,
+		Workers:   *parallel,
+		Prefetch:  prefetchWidth,
+		CSVDir:    *csvDir,
+		StorePath: *storeDir,
+		Resume:    *resume,
+		Out:       os.Stdout,
 	}
 	if *sites != "" {
 		cfg.Sites = strings.Split(*sites, ",")
 	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "crawlbench: -resume needs -store <dir>")
+		os.Exit(2)
+	}
+	closeStore, err := cfg.OpenStore()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawlbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeStore()
 
 	if *exp == "all" {
 		for _, e := range experiments.All {

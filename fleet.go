@@ -14,7 +14,6 @@ import (
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/fleet"
 	"sbcrawl/internal/metrics"
-	"sbcrawl/internal/urlutil"
 )
 
 // FleetOptions configures a multi-site crawl.
@@ -40,6 +39,12 @@ type FleetOptions struct {
 	// cached response is exactly what the site would have served. Results
 	// still never depend on Workers.
 	SharedSpeculation bool
+	// SpecCacheCap bounds each shared speculation cache in responses
+	// (0 → fleet.DefaultSpecCacheCap, 8192). With Config.StorePath set it
+	// also bounds how much speculation state is spilled to — and warmed
+	// from — the persistent store: overflow traffic falls through to the
+	// durable replay database instead.
+	SpecCacheCap int
 }
 
 // SiteOutcome is one crawl of a fleet, in input order.
@@ -76,6 +81,11 @@ type FleetResult struct {
 	// diagnostic: the counters depend on fetch timing — use them to judge
 	// hint quality and shared-cache reuse, never to compare results.
 	Speculation SpeculationStats
+	// Store aggregates the per-site persistent-store activity (see
+	// Result.Store): counters summed, Resumed true when any site started
+	// warm, Completed true when every site was served from its
+	// done-record. Nil when Config.StorePath was empty.
+	Store *StoreStats
 }
 
 // SpeculationStats reports speculative-fetch outcomes: fetches launched
@@ -107,39 +117,79 @@ func CrawlMany(cfgs []Config, opts FleetOptions) (*FleetResult, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlMany needs at least one Config")
 	}
+	// The fleet writes through one store handle, so every Config that sets
+	// StorePath must agree on it (sites are namespaced inside).
+	storePath := ""
+	for _, cfg := range cfgs {
+		switch {
+		case cfg.StorePath == "" || cfg.StorePath == storePath:
+		case storePath == "":
+			storePath = cfg.StorePath
+		default:
+			return nil, fmt.Errorf("sbcrawl: CrawlMany configs disagree on StorePath (%q vs %q)", storePath, cfg.StorePath)
+		}
+	}
+	var cs *crawlStore
+	if storePath != "" {
+		var err error
+		if cs, err = openCrawlStore(storePath); err != nil {
+			return nil, err
+		}
+		defer cs.Close()
+	}
 	// One speculation cache per distinct UserAgent: a host may serve (and
 	// robots.txt may admit) different agents differently, so crawls only
 	// reuse fetches made with their own identity — a cache hit is then
-	// always a response this Config could have fetched itself.
+	// always a response this Config could have fetched itself. With a
+	// store, each cache is preloaded from (and spilled back to) its
+	// per-agent namespace, so successive fleets start warm.
 	var caches map[string]*fleet.SpecCache
 	if opts.SharedSpeculation {
 		caches = make(map[string]*fleet.SpecCache)
 		for _, cfg := range cfgs {
 			if caches[cfg.UserAgent] == nil {
-				caches[cfg.UserAgent] = fleet.NewSpecCache(0)
+				c := fleet.NewSpecCache(opts.SpecCacheCap)
+				if cs != nil {
+					preloadSpecCache(cs, uaNamespace(cfg.UserAgent), c)
+				}
+				caches[cfg.UserAgent] = c
 			}
+		}
+		if cs != nil {
+			defer func() {
+				for ua, c := range caches {
+					persistSpecCache(cs, uaNamespace(ua), c)
+				}
+			}()
 		}
 	}
 	jobs := make([]fleet.Job, len(cfgs))
+	stats := make([]*StoreStats, len(cfgs))
 	for i, cfg := range cfgs {
 		var shared fetch.SharedStore
 		if c := caches[cfg.UserAgent]; c != nil {
 			shared = c
 		}
-		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg, shared)}
+		// Persistence is per Config: an entry that did not set StorePath
+		// crawls unpersisted even when the rest of the batch is durable.
+		jobCS := cs
+		if cfg.StorePath == "" {
+			jobCS = nil
+		}
+		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg, shared, jobCS, &stats[i])}
 	}
-	return runFleet(jobs, opts)
+	return runFleet(jobs, opts, stats)
 }
 
 // liveJob builds the per-site closure running one live crawl, through the
 // same validation and wiring as Crawl (see liveEnv).
-func liveJob(cfg Config, shared fetch.SharedStore) func(ctx context.Context) (*core.Result, error) {
+func liveJob(cfg Config, shared fetch.SharedStore, cs *crawlStore, slot **StoreStats) func(ctx context.Context) (*core.Result, error) {
 	return func(ctx context.Context) (*core.Result, error) {
 		env, err := liveEnv(cfg, ctx, shared)
 		if err != nil {
 			return nil, err
 		}
-		return runFleetCrawl(cfg, env, 0)
+		return runFleetCrawl(cfg, env, 0, cs, liveNamespace(cfg), slot)
 	}
 }
 
@@ -153,55 +203,80 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlSites needs at least one Site")
 	}
+	var cs *crawlStore
+	if cfg.StorePath != "" {
+		var err error
+		if cs, err = openCrawlStore(cfg.StorePath); err != nil {
+			return nil, err
+		}
+		defer cs.Close()
+	}
 	// One speculation cache per distinct Site: sharing is only sound when
 	// every member sees identical content per URL, which a Site guarantees
 	// and two different Sites (even of one profile, at another seed) do
-	// not.
+	// not. With a store, each cache is preloaded from (and spilled back
+	// to) its site's namespace, so successive fleets start warm.
 	var caches map[*Site]*fleet.SpecCache
 	if opts.SharedSpeculation {
 		caches = make(map[*Site]*fleet.SpecCache)
 		for _, site := range sites {
 			if caches[site] == nil {
-				caches[site] = fleet.NewSpecCache(0)
+				c := fleet.NewSpecCache(opts.SpecCacheCap)
+				if cs != nil {
+					preloadSpecCache(cs, simNamespace(site), c)
+				}
+				caches[site] = c
 			}
+		}
+		if cs != nil {
+			defer func() {
+				for site, c := range caches {
+					persistSpecCache(cs, simNamespace(site), c)
+				}
+			}()
 		}
 	}
 	jobs := make([]fleet.Job, len(sites))
+	stats := make([]*StoreStats, len(sites))
 	for i, site := range sites {
 		siteCfg := cfg
 		siteCfg.Seed = fleet.DeriveSeed(cfg.Seed, i)
-		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg, caches[site])}
+		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg, caches[site], cs, &stats[i])}
 	}
-	return runFleet(jobs, opts)
+	return runFleet(jobs, opts, stats)
 }
 
 // simJob builds the per-site closure running one simulated crawl.
-func simJob(site *Site, cfg Config, shared *fleet.SpecCache) func(ctx context.Context) (*core.Result, error) {
+func simJob(site *Site, cfg Config, shared *fleet.SpecCache, cs *crawlStore, slot **StoreStats) func(ctx context.Context) (*core.Result, error) {
 	return func(ctx context.Context) (*core.Result, error) {
 		env := siteCrawlEnv(site, cfg, ctx)
 		if shared != nil {
 			env.SharedSpec = shared
 		}
-		return runFleetCrawl(cfg, env, site.PageCount())
+		return runFleetCrawl(cfg, env, site.PageCount(), cs, simNamespace(site), slot)
 	}
 }
 
 // runFleetCrawl is runCrawl without the public-type conversion: fleet
 // aggregation wants the internal result, and conversion happens once per
-// site in runFleet.
-func runFleetCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, error) {
-	if len(cfg.TargetMIMEs) > 0 {
-		env.TargetMIMEs = urlutil.NewMIMESet(cfg.TargetMIMEs)
+// site in runFleet. With a store handle it runs the persisted path —
+// disk-backed replay, checkpoints, done-records — through the fleet's
+// shared handle, depositing the site's store stats in its slot.
+func runFleetCrawl(cfg Config, env *core.Env, sitePages int, cs *crawlStore, ns string, slot **StoreStats) (*core.Result, error) {
+	if cs == nil {
+		res, _, err := execCrawl(cfg, env, sitePages)
+		return res, err
 	}
-	crawler, err := buildCrawler(cfg, sitePages)
+	res, stats, err := persistedRun(cs, cfg, env, sitePages, ns)
 	if err != nil {
 		return nil, err
 	}
-	return crawler.Run(env)
+	*slot = stats
+	return res, nil
 }
 
 // runFleet executes the jobs and converts the summary to the public type.
-func runFleet(jobs []fleet.Job, opts FleetOptions) (*FleetResult, error) {
+func runFleet(jobs []fleet.Job, opts FleetOptions, storeStats []*StoreStats) (*FleetResult, error) {
 	sum, err := fleet.Run(jobs, fleet.Options{Workers: opts.Workers, Ctx: opts.Ctx})
 	out := &FleetResult{
 		Sites:          make([]SiteOutcome, len(sum.Sites)),
@@ -224,7 +299,26 @@ func runFleet(jobs []fleet.Job, opts FleetOptions) (*FleetResult, error) {
 		out.Sites[i] = SiteOutcome{Index: s.Index, Label: s.Label, Err: s.Err}
 		if s.Result != nil {
 			out.Sites[i].Result = convertResult(s.Result)
+			if i < len(storeStats) && storeStats[i] != nil {
+				out.Sites[i].Result.Store = storeStats[i]
+			}
 		}
+	}
+	// Aggregate the persistent-store activity: Completed only when every
+	// site was a done-record short-circuit — a failed or skipped site
+	// (nil slot) breaks it like a re-executed one does.
+	agg := &StoreStats{Completed: true}
+	seen := false
+	for _, st := range storeStats {
+		if st != nil {
+			agg.add(st)
+			seen = true
+		} else {
+			agg.Completed = false
+		}
+	}
+	if seen {
+		out.Store = agg
 	}
 	for _, pt := range metrics.Curve(sum.Trace, 500) {
 		out.Curve = append(out.Curve, CurvePoint(pt))

@@ -60,6 +60,18 @@ type Env struct {
 	// orchestrator scopes it per Site).
 	SharedSpec fetch.SharedStore
 
+	// Checkpoint, when non-nil, receives a periodic durable-progress record
+	// every CheckpointEvery charged requests: budget spent, visited-set
+	// size, targets, the adaptive speculation window, and (when the policy
+	// supports it) a serialized frontier snapshot. The persistent-store
+	// layer writes these through its segment log and syncs, so a killed
+	// process recovers to its last checkpoint. Checkpointing only observes
+	// crawl state — it can never change what the crawl returns.
+	Checkpoint Checkpointer
+	// CheckpointEvery is the checkpoint cadence in charged requests
+	// (0 → 256).
+	CheckpointEvery int
+
 	// OracleClass maps a URL to its true class (classify.Class*); used by
 	// SB-ORACLE and TRES. Nil for realistic crawlers.
 	OracleClass func(url string) int
@@ -73,6 +85,45 @@ type Env struct {
 // PrefetchAuto is the Env.Prefetch sentinel selecting the adaptive
 // speculation controller (self-tuning window width).
 const PrefetchAuto = -1
+
+// DefaultCheckpointEvery is the checkpoint cadence when Env.CheckpointEvery
+// is zero.
+const DefaultCheckpointEvery = 256
+
+// Checkpoint is one durable progress record of a running crawl — the state
+// the persistent store keeps current so a killed crawl reports how far it
+// durably got (resume itself replays the durable response database, which
+// is exact; the checkpoint is the cheap summary and forensic payload).
+type Checkpoint struct {
+	// Requests/HeadRequests/Targets/TargetBytes/NonTargetBytes mirror the
+	// crawl's charged progress at the checkpoint.
+	Requests       int
+	HeadRequests   int
+	Targets        int
+	TargetBytes    int64
+	NonTargetBytes int64
+	// Visited is |T ∪ F|, the size of the engine's seen set.
+	Visited int
+	// TunerWindow is the adaptive speculation window at the checkpoint
+	// (0 when the width is fixed or prefetch is off).
+	TunerWindow int
+	// Frontier is a gob-serialized frontier snapshot
+	// (frontier.QueueState/StackState/RandomState/PriorityState/
+	// GroupedState) when the running policy supports snapshotting; nil
+	// otherwise.
+	Frontier []byte
+}
+
+// Checkpointer receives periodic crawl checkpoints (see Env.Checkpoint).
+type Checkpointer interface {
+	Checkpoint(cp Checkpoint)
+}
+
+// frontierSnapshotter is the optional crawlPolicy capability behind
+// Checkpoint.Frontier: policies whose frontier serializes expose it.
+type frontierSnapshotter interface {
+	FrontierSnapshot() ([]byte, error)
+}
 
 func (e *Env) targetMIMEs() urlutil.MIMESet {
 	if e.TargetMIMEs != nil {
@@ -160,6 +211,9 @@ type engine struct {
 	targetBytes    int64
 	nonTargetBytes int64
 	budgetExceeded bool
+	// ckptPolicy is the policy runStaged is driving, consulted for frontier
+	// snapshots at checkpoint time; nil outside the staged loop.
+	ckptPolicy crawlPolicy
 }
 
 func newEngine(env *Env) (*engine, error) {
@@ -237,6 +291,7 @@ func (e *engine) get(u string) (fetch.Response, bool) {
 		e.nonTargetBytes += vol
 	}
 	e.trace.Record(e.tcount, e.targetBytes, e.nonTargetBytes)
+	e.maybeCheckpoint()
 	return resp, true
 }
 
@@ -252,7 +307,42 @@ func (e *engine) head(u string) (fetch.Response, bool) {
 	}
 	e.nonTargetBytes += e.meter.ChargeHead()
 	e.trace.Record(e.tcount, e.targetBytes, e.nonTargetBytes)
+	e.maybeCheckpoint()
 	return resp, true
+}
+
+// maybeCheckpoint emits a durable progress record every CheckpointEvery
+// charged requests. Purely observational: it reads crawl state, never
+// writes it, so checkpointing cannot perturb results.
+func (e *engine) maybeCheckpoint() {
+	sink := e.env.Checkpoint
+	if sink == nil {
+		return
+	}
+	every := e.env.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	if e.meter.Requests%every != 0 {
+		return
+	}
+	cp := Checkpoint{
+		Requests:       e.meter.Requests,
+		HeadRequests:   e.meter.HeadRequests,
+		Targets:        e.tcount,
+		TargetBytes:    e.targetBytes,
+		NonTargetBytes: e.nonTargetBytes,
+		Visited:        len(e.seen),
+	}
+	if e.tuner != nil {
+		cp.TunerWindow = e.tuner.Window()
+	}
+	if snap, ok := e.ckptPolicy.(frontierSnapshotter); ok {
+		if blob, err := snap.FrontierSnapshot(); err == nil {
+			cp.Frontier = blob
+		}
+	}
+	sink.Checkpoint(cp)
 }
 
 // page is the processed outcome of crawling one URL (redirects resolved).

@@ -175,6 +175,12 @@ func (r *sbRun) Ingest(_ string, pg page) {
 // Hints implements crawlPolicy.
 func (r *sbRun) Hints(n int) []string { return r.front.Peek(n) }
 
+// FrontierSnapshot serializes the action-grouped frontier (links per
+// action plus the draw RNG position) for the engine's checkpoints.
+func (r *sbRun) FrontierSnapshot() ([]byte, error) {
+	return gobSnapshot(r.front.Snapshot())
+}
+
 // step is Algorithm 4: crawl one URL, then ingest it.
 func (r *sbRun) step(u string, action int, depth int) {
 	r.steps++

@@ -1,0 +1,20 @@
+package core
+
+// Frontier-snapshot plumbing for the engine's periodic checkpoints: every
+// policy whose frontier implements frontier.Snapshot exposes it through the
+// frontierSnapshotter capability, serialized with gob into the
+// Checkpoint.Frontier payload the persistent store keeps current.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobSnapshot serializes one frontier state value.
+func gobSnapshot(state interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

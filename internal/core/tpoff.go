@@ -91,6 +91,11 @@ func (p tpoffWarmup) Ingest(u string, pg page) {
 // Hints implements crawlPolicy.
 func (p tpoffWarmup) Hints(n int) []string { return p.r.bfs.Peek(n) }
 
+// FrontierSnapshot serializes the warm-up BFS queue for checkpoints.
+func (p tpoffWarmup) FrontierSnapshot() ([]byte, error) {
+	return gobSnapshot(p.r.bfs.Snapshot())
+}
+
 // zeroGroup buckets phase-2 links matching no existing group.
 const zeroGroup = -1
 
@@ -128,6 +133,11 @@ func (p tpoffMain) Ingest(_ string, pg page) {
 
 // Hints implements crawlPolicy.
 func (p tpoffMain) Hints(n int) []string { return p.r.grouped.Peek(n) }
+
+// FrontierSnapshot serializes the phase-2 grouped frontier for checkpoints.
+func (p tpoffMain) FrontierSnapshot() ([]byte, error) {
+	return gobSnapshot(p.r.grouped.Snapshot())
+}
 
 // Run implements Crawler: the BFS warm-up phase and the frozen-benefit
 // phase each run through the staged loop.

@@ -19,6 +19,7 @@ import (
 	"sbcrawl/internal/fleet"
 	"sbcrawl/internal/metrics"
 	"sbcrawl/internal/sitegen"
+	"sbcrawl/internal/store"
 	"sbcrawl/internal/webserver"
 )
 
@@ -52,6 +53,34 @@ type Config struct {
 	Out io.Writer
 	// CSVDir, when set, receives figure series as CSV files.
 	CSVDir string
+	// StorePath, when set, backs every site's replay database with the
+	// persistent crawl store at that directory (see internal/store): a
+	// second run of the same experiment replays previously fetched
+	// responses from disk. Open the handle once with OpenStore before
+	// running experiments.
+	StorePath string
+	// Resume marks the run as a continuation of an earlier one over the
+	// same StorePath (diagnostic; the replay database reloads either way).
+	Resume bool
+
+	// st is the open store handle behind StorePath (see OpenStore).
+	st *store.Store
+}
+
+// OpenStore opens the Config's StorePath and attaches the handle that
+// buildSite wires into every replay database. The returned closer flushes
+// and compacts; callers run it after the last experiment. A no-op (nil
+// closer function is still returned) when StorePath is empty.
+func (c *Config) OpenStore() (func() error, error) {
+	if c.StorePath == "" {
+		return func() error { return nil }, nil
+	}
+	st, err := store.Open(c.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	c.st = st
+	return st.Close, nil
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +155,7 @@ var All = []Experiment{
 	{"ablation-batch", "Ablation: classifier batch size b", RunAblationBatch},
 	{"ext-revisit", "Extension: incremental revisit policies (Sec. 6 future work)", RunRevisit},
 	{"speculation", "Speculative-fetch hit rates per strategy (adaptive window diagnostics)", RunSpeculation},
+	{"resume", "Kill-and-resume equivalence over the persistent store (Sec. 4.4 durable)", RunResume},
 }
 
 // ByID returns the experiment with the given ID.
@@ -162,6 +192,13 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 		MaxPages: cfg.MaxPages,
 	})
 	replay := fetch.NewReplay(fetch.NewSim(webserver.New(site)))
+	if cfg.st != nil {
+		// Durable replay: namespace the site's responses by everything
+		// that shapes its content, so only an identical regeneration
+		// replays them.
+		ns := fmt.Sprintf("x|%s|%g|%d|%d|r|", code, cfg.Scale, cfg.Seed, cfg.MaxPages)
+		replay.SetBackend(store.Prefixed(cfg.st, ns))
+	}
 	env := &core.Env{
 		Root:     site.Root(),
 		Fetcher:  replay,

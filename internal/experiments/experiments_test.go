@@ -26,7 +26,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table4-theta", "table5", "table6", "fig5", "table7", "confusion",
 		"earlystop", "fig15", "searchengines",
 		"ablation-policy", "ablation-reward", "ablation-dim", "ablation-batch",
-		"ext-revisit", "speculation",
+		"ext-revisit", "speculation", "resume",
 	}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {
@@ -260,6 +260,56 @@ func TestRunRevisitExtension(t *testing.T) {
 		if !strings.Contains(s, p) {
 			t.Errorf("revisit report missing policy %q:\n%s", p, s)
 		}
+	}
+}
+
+func TestRunResume(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	cfg.Sites = []string{"cl"}
+	cfg.StorePath = t.TempDir()
+	if err := RunResume(cfg); err != nil {
+		t.Fatalf("RunResume: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "identical") || strings.Contains(report, "NO") {
+		t.Errorf("unexpected resume report:\n%s", report)
+	}
+	// Segment files landed under the per-(site,strategy) stores.
+	segs, err := filepath.Glob(filepath.Join(cfg.StorePath, "*", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Errorf("no segments written: %v %v", segs, err)
+	}
+}
+
+// TestStoreBackedExperimentReplays pins the -store/-resume CLI path: a
+// second run of an experiment over the same store replays the first run's
+// responses instead of re-fetching.
+func TestStoreBackedExperimentReplays(t *testing.T) {
+	dir := t.TempDir()
+	run := func() string {
+		var out bytes.Buffer
+		cfg := tinyConfig(&out)
+		cfg.Sites = []string{"cl"}
+		cfg.StorePath = dir
+		closeStore, err := cfg.OpenStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeStore()
+		if err := RunTable1(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Errorf("store-backed rerun changed the report:\n%s\nvs\n%s", first, second)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Errorf("no segments written: %v %v", segs, err)
 	}
 }
 

@@ -1,12 +1,32 @@
 package fetch
 
-import "sync"
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+
+	"sbcrawl/internal/store"
+)
+
+// Replay key prefixes in the durable backend: one namespace per verb.
+const (
+	replayGetPrefix  = "g|"
+	replayHeadPrefix = "h|"
+)
 
 // Replay implements the local response database of Section 4.4: every
 // crawler "first checks if the resource is already stored in a local
 // database. If so, we use it; otherwise, we fetch it" and store the result.
 // Wrapping the same Replay around several crawler runs gives them the
 // identical view of the website that the paper's evaluation relies on.
+//
+// The database holds responses in memory and, when a store.Backend is
+// attached (SetBackend), writes every response through to it and reloads
+// from it: a crawl killed mid-flight leaves its responses on disk, and the
+// resumed crawl replays them at memory speed instead of re-fetching. Disk
+// and memory share one lookup path, so Hits/Misses/Stored count identically
+// wherever an entry is served from; a disk-served entry is promoted into
+// memory on first touch.
 //
 // Replay is safe for concurrent use (the speculative prefetch layer issues
 // overlapping GETs). The lock is never held across a backend fetch, so
@@ -18,6 +38,13 @@ type Replay struct {
 	mu    sync.Mutex
 	gets  map[string]Response
 	heads map[string]Response
+	// disk is the durable spill; diskGets/diskHeads track keys resident on
+	// disk but not yet promoted into memory, keeping Stored() one number
+	// whatever side an entry lives on.
+	disk      store.Backend
+	diskGets  map[string]bool
+	diskHeads map[string]bool
+	diskErr   error
 	// hits and misses count database lookups, for cache diagnostics.
 	hits, misses int
 
@@ -36,15 +63,79 @@ func NewReplay(backend Fetcher) *Replay {
 	}
 }
 
+// SetBackend attaches the durable spill and indexes what it already holds,
+// so a reopened database starts warm. Attach before the crawl starts, not
+// concurrently with lookups.
+func (r *Replay) SetBackend(b store.Backend) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disk = b
+	r.diskGets = make(map[string]bool)
+	r.diskHeads = make(map[string]bool)
+	for _, k := range b.Keys(replayGetPrefix) {
+		url := k[len(replayGetPrefix):]
+		if _, ok := r.gets[url]; !ok {
+			r.diskGets[url] = true
+		}
+	}
+	for _, k := range b.Keys(replayHeadPrefix) {
+		url := k[len(replayHeadPrefix):]
+		if _, ok := r.heads[url]; !ok {
+			r.diskHeads[url] = true
+		}
+	}
+}
+
+// lookup is the single read path of the database: memory first, then the
+// durable spill (promoting what it finds), counting exactly one hit or one
+// miss per call whatever side answered.
+func (r *Replay) lookup(mem map[string]Response, onDisk map[string]bool, prefix, url string) (Response, bool) {
+	if resp, ok := mem[url]; ok {
+		r.hits++
+		return resp, true
+	}
+	if onDisk[url] {
+		if raw, ok := r.disk.Get(prefix + url); ok {
+			if resp, err := DecodeResponse(raw); err == nil {
+				mem[url] = resp
+				delete(onDisk, url)
+				r.hits++
+				return resp, true
+			}
+		}
+		// Unreadable spill entry (corrupt or racing compaction): forget it
+		// and fall through to a miss.
+		delete(onDisk, url)
+	}
+	r.misses++
+	return Response{}, false
+}
+
+// record is the single write path: memory always, the durable spill when
+// attached. The first spill error is retained (DiskErr) and the database
+// degrades to memory-only rather than failing the crawl.
+func (r *Replay) record(mem map[string]Response, onDisk map[string]bool, prefix, url string, resp Response) {
+	mem[url] = resp
+	delete(onDisk, url)
+	if r.disk == nil {
+		return
+	}
+	raw, err := EncodeResponse(resp)
+	if err == nil {
+		err = r.disk.Put(prefix+url, raw)
+	}
+	if err != nil && r.diskErr == nil {
+		r.diskErr = err
+	}
+}
+
 // Get implements Fetcher.
 func (r *Replay) Get(url string) (Response, error) {
 	r.mu.Lock()
-	if resp, ok := r.gets[url]; ok {
-		r.hits++
+	if resp, ok := r.lookup(r.gets, r.diskGets, replayGetPrefix, url); ok {
 		r.mu.Unlock()
 		return resp, nil
 	}
-	r.misses++
 	frozen := r.Frozen
 	r.mu.Unlock()
 	if frozen {
@@ -55,7 +146,7 @@ func (r *Replay) Get(url string) (Response, error) {
 		return resp, err
 	}
 	r.mu.Lock()
-	r.gets[url] = resp
+	r.record(r.gets, r.diskGets, replayGetPrefix, url, resp)
 	r.mu.Unlock()
 	return resp, nil
 }
@@ -63,19 +154,35 @@ func (r *Replay) Get(url string) (Response, error) {
 // Head implements Fetcher. A stored GET also answers HEAD (same headers).
 func (r *Replay) Head(url string) (Response, error) {
 	r.mu.Lock()
-	if resp, ok := r.heads[url]; ok {
-		r.hits++
+	if resp, ok := r.lookup(r.heads, r.diskHeads, replayHeadPrefix, url); ok {
 		r.mu.Unlock()
 		return resp, nil
 	}
+	// A resident GET answers the HEAD too; the failed head lookup above
+	// already counted the miss, so re-classify it as a hit.
 	if resp, ok := r.gets[url]; ok {
+		r.misses--
 		r.hits++
 		r.mu.Unlock()
 		headResp := resp
 		headResp.Body = nil
 		return headResp, nil
 	}
-	r.misses++
+	if r.diskGets[url] {
+		if raw, ok := r.disk.Get(replayGetPrefix + url); ok {
+			if resp, err := DecodeResponse(raw); err == nil {
+				r.gets[url] = resp
+				delete(r.diskGets, url)
+				r.misses--
+				r.hits++
+				r.mu.Unlock()
+				headResp := resp
+				headResp.Body = nil
+				return headResp, nil
+			}
+		}
+		delete(r.diskGets, url)
+	}
 	frozen := r.Frozen
 	r.mu.Unlock()
 	if frozen {
@@ -86,16 +193,17 @@ func (r *Replay) Head(url string) (Response, error) {
 		return resp, err
 	}
 	r.mu.Lock()
-	r.heads[url] = resp
+	r.record(r.heads, r.diskHeads, replayHeadPrefix, url, resp)
 	r.mu.Unlock()
 	return resp, nil
 }
 
-// Stored reports how many distinct GET responses the database holds.
+// Stored reports how many distinct GET responses the database holds,
+// memory- and disk-resident alike.
 func (r *Replay) Stored() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.gets)
+	return len(r.gets) + len(r.diskGets)
 }
 
 // Hits reports how many lookups the database answered.
@@ -110,4 +218,28 @@ func (r *Replay) Misses() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.misses
+}
+
+// DiskErr reports the first durable-spill failure (nil when healthy; the
+// database keeps serving from memory after one).
+func (r *Replay) DiskErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.diskErr
+}
+
+// EncodeResponse serializes a Response for durable storage.
+func EncodeResponse(resp Response) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResponse is the inverse of EncodeResponse.
+func DecodeResponse(raw []byte) (Response, error) {
+	var resp Response
+	err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&resp)
+	return resp, err
 }

@@ -1,0 +1,142 @@
+package fetch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sbcrawl/internal/store"
+)
+
+// countFetcher is a deterministic backend that tallies real fetches.
+type countFetcher struct {
+	gets, heads int
+}
+
+func (c *countFetcher) Get(url string) (Response, error) {
+	c.gets++
+	return Response{URL: url, Status: 200, MIME: "text/html", Body: []byte("body-of-" + url), ContentLength: 8}, nil
+}
+
+func (c *countFetcher) Head(url string) (Response, error) {
+	c.heads++
+	return Response{URL: url, Status: 200, MIME: "text/html"}, nil
+}
+
+// TestReplayCountersDiskVsMemory is the one-counter-path gate: an entry
+// served from the disk spill must move Hits/Misses/Stored exactly like one
+// served from memory.
+func TestReplayCountersDiskVsMemory(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// First life: fetch three URLs through a disk-backed database.
+	backend := &countFetcher{}
+	r := NewReplay(backend)
+	r.SetBackend(st)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Get(fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Head("u9"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, s := r.Hits(), r.Misses(), r.Stored(); h != 0 || m != 4 || s != 3 {
+		t.Fatalf("first life: hits=%d misses=%d stored=%d, want 0/4/3", h, m, s)
+	}
+	if err := r.DiskErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a fresh Replay over the same store starts warm. Every
+	// entry is disk-resident now, and serving it must count exactly like a
+	// memory hit did before.
+	backend2 := &countFetcher{}
+	r2 := NewReplay(backend2)
+	r2.SetBackend(st)
+	if s := r2.Stored(); s != 3 {
+		t.Fatalf("reloaded Stored = %d, want 3 (disk-resident entries count)", s)
+	}
+	if resp, err := r2.Get("u0"); err != nil || string(resp.Body) != "body-of-u0" {
+		t.Fatalf("disk-served Get = %+v, %v", resp, err)
+	}
+	if h, m := r2.Hits(), r2.Misses(); h != 1 || m != 0 {
+		t.Fatalf("disk hit counted %d/%d, want 1/0", h, m)
+	}
+	// The same URL again is now memory-resident; the counters move the
+	// same way (one hit), and Stored does not double-count promotion.
+	if _, err := r2.Get("u0"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, s := r2.Hits(), r2.Misses(), r2.Stored(); h != 2 || m != 0 || s != 3 {
+		t.Fatalf("memory hit after promotion: hits=%d misses=%d stored=%d, want 2/0/3", h, m, s)
+	}
+	// HEAD served from a disk-resident GET counts as a hit, like the
+	// memory-resident path always has.
+	if resp, err := r2.Head("u1"); err != nil || resp.Body != nil {
+		t.Fatalf("Head from stored GET = %+v, %v", resp, err)
+	}
+	if h, m := r2.Hits(), r2.Misses(); h != 3 || m != 0 {
+		t.Fatalf("head-from-get hit: hits=%d misses=%d, want 3/0", h, m)
+	}
+	// Disk-resident HEAD record serves too.
+	if _, err := r2.Head("u9"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := r2.Hits(), r2.Misses(); h != 4 || m != 0 {
+		t.Fatalf("disk head hit: hits=%d misses=%d, want 4/0", h, m)
+	}
+	// A genuine miss still falls through to the fetcher exactly once.
+	if _, err := r2.Get("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, s := r2.Hits(), r2.Misses(), r2.Stored(); h != 4 || m != 1 || s != 4 {
+		t.Fatalf("fresh miss: hits=%d misses=%d stored=%d, want 4/1/4", h, m, s)
+	}
+	if backend2.gets != 1 || backend2.heads != 0 {
+		t.Fatalf("warm database still fetched: gets=%d heads=%d", backend2.gets, backend2.heads)
+	}
+}
+
+// TestReplayWithoutBackend pins the memory-only behavior: no store attached,
+// same counters as ever.
+func TestReplayWithoutBackend(t *testing.T) {
+	backend := &countFetcher{}
+	r := NewReplay(backend)
+	r.Get("a")
+	r.Get("a")
+	r.Head("a")
+	if h, m, s := r.Hits(), r.Misses(), r.Stored(); h != 2 || m != 1 || s != 1 {
+		t.Fatalf("hits=%d misses=%d stored=%d, want 2/1/1", h, m, s)
+	}
+	if backend.gets != 1 || backend.heads != 0 {
+		t.Fatalf("backend traffic gets=%d heads=%d, want 1/0", backend.gets, backend.heads)
+	}
+}
+
+// TestReplayResponseRoundTrip guards the durable encoding: every Response
+// field survives the spill, Interrupted downloads included.
+func TestReplayResponseRoundTrip(t *testing.T) {
+	orig := Response{
+		URL: "https://x/y", Status: 302, MIME: "video/mp4",
+		Location: "https://x/z", Body: nil, ContentLength: 12345, Interrupted: true,
+	}
+	raw, err := EncodeResponse(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatalf("round trip changed the response: %+v vs %+v", got, orig)
+	}
+}

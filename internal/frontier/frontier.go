@@ -102,11 +102,14 @@ func (s *Stack) Peek(n int) []string {
 type Random struct {
 	items []string
 	rng   *rand.Rand
+	src   *countedSource
+	seed  int64
 }
 
 // NewRandom builds a random frontier with a deterministic seed.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	rng, src := newCountedRand(seed, 0)
+	return &Random{rng: rng, src: src, seed: seed}
 }
 
 // Push appends a URL.
@@ -253,11 +256,14 @@ type Grouped struct {
 	byAction map[int][]string
 	total    int
 	rng      *rand.Rand
+	src      *countedSource
+	seed     int64
 }
 
 // NewGrouped builds an action-grouped frontier with a deterministic seed.
 func NewGrouped(seed int64) *Grouped {
-	return &Grouped{byAction: make(map[int][]string), rng: rand.New(rand.NewSource(seed))}
+	rng, src := newCountedRand(seed, 0)
+	return &Grouped{byAction: make(map[int][]string), rng: rng, src: src, seed: seed}
 }
 
 // Push adds a URL under the given action.

@@ -1,0 +1,169 @@
+package frontier
+
+// Checkpoint/resume support: every frontier can serialize its complete
+// state — held URLs, heap layout, and (for the randomized frontiers) the
+// RNG position — and restore it into an empty instance such that the
+// restored frontier pops the exact same sequence the original would have.
+// The engine embeds these snapshots in its periodic crawl checkpoints
+// (core.Checkpoint), written through the persistent store.
+//
+// RNG state travels as (Seed, Draws): math/rand sources are opaque, but
+// every random frontier owns its generator and consumes it only through
+// Intn, whose underlying Int63 pulls a countedSource tallies. Re-seeding
+// and burning the same number of pulls reproduces the generator state
+// bit for bit.
+
+import "math/rand"
+
+// countedSource wraps a rand.Source, counting Int63 pulls so the generator
+// position can be serialized and replayed. It deliberately does not
+// implement rand.Source64: rand.Rand then routes every draw through Int63,
+// keeping one counted path (and the exact value sequence rand.NewSource
+// has always produced here).
+type countedSource struct {
+	src   rand.Source
+	draws int64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Seed(s int64) {
+	c.src.Seed(s)
+	c.draws = 0
+}
+
+// newCountedRand builds a deterministic generator at position draws.
+func newCountedRand(seed, draws int64) (*rand.Rand, *countedSource) {
+	cs := &countedSource{src: rand.NewSource(seed)}
+	for i := int64(0); i < draws; i++ {
+		cs.src.Int63()
+	}
+	cs.draws = draws
+	return rand.New(cs), cs
+}
+
+// QueueState is a serializable Queue snapshot.
+type QueueState struct {
+	Items []string
+}
+
+// Snapshot captures the queue's live items in pop order.
+func (q *Queue) Snapshot() QueueState {
+	return QueueState{Items: append([]string(nil), q.items[q.head:]...)}
+}
+
+// Restore replaces the queue's state with the snapshot.
+func (q *Queue) Restore(st QueueState) {
+	q.items = append([]string(nil), st.Items...)
+	q.head = 0
+}
+
+// StackState is a serializable Stack snapshot.
+type StackState struct {
+	Items []string
+}
+
+// Snapshot captures the stack bottom-to-top.
+func (s *Stack) Snapshot() StackState {
+	return StackState{Items: append([]string(nil), s.items...)}
+}
+
+// Restore replaces the stack's state with the snapshot.
+func (s *Stack) Restore(st StackState) {
+	s.items = append([]string(nil), st.Items...)
+}
+
+// RandomState is a serializable Random snapshot, RNG position included.
+type RandomState struct {
+	Items []string
+	Seed  int64
+	Draws int64
+}
+
+// Snapshot captures the frontier and its generator position.
+func (r *Random) Snapshot() RandomState {
+	return RandomState{
+		Items: append([]string(nil), r.items...),
+		Seed:  r.seed,
+		Draws: r.src.draws,
+	}
+}
+
+// Restore replaces the frontier's state with the snapshot; subsequent Pops
+// draw exactly what the snapshotted frontier would have drawn.
+func (r *Random) Restore(st RandomState) {
+	r.items = append([]string(nil), st.Items...)
+	r.seed = st.Seed
+	r.rng, r.src = newCountedRand(st.Seed, st.Draws)
+}
+
+// PriorityEntry is one held URL of a Priority snapshot.
+type PriorityEntry struct {
+	URL   string
+	Score float64
+	Seq   int64
+}
+
+// PriorityState is a serializable Priority snapshot. Entries preserve the
+// physical heap layout, so the restored frontier breaks score ties exactly
+// like the original.
+type PriorityState struct {
+	Entries []PriorityEntry
+	Seq     int64
+}
+
+// Snapshot captures the heap verbatim.
+func (p *Priority) Snapshot() PriorityState {
+	st := PriorityState{Entries: make([]PriorityEntry, len(p.h)), Seq: p.n}
+	for i, it := range p.h {
+		st.Entries[i] = PriorityEntry{URL: it.url, Score: it.score, Seq: it.seq}
+	}
+	return st
+}
+
+// Restore replaces the heap with the snapshot's layout (already
+// heap-ordered, since Snapshot copied a valid heap).
+func (p *Priority) Restore(st PriorityState) {
+	p.h = make(scoredHeap, len(st.Entries))
+	for i, e := range st.Entries {
+		p.h[i] = scoredItem{url: e.URL, score: e.Score, seq: e.Seq}
+	}
+	p.n = st.Seq
+}
+
+// GroupedState is a serializable Grouped snapshot, RNG position included.
+type GroupedState struct {
+	// Actions maps each awake action to its links in slice order (the
+	// order the uniform draw indexes into).
+	Actions map[int][]string
+	Seed    int64
+	Draws   int64
+}
+
+// Snapshot captures the action-grouped frontier and its generator position.
+func (g *Grouped) Snapshot() GroupedState {
+	st := GroupedState{
+		Actions: make(map[int][]string, len(g.byAction)),
+		Seed:    g.seed,
+		Draws:   g.src.draws,
+	}
+	for a, links := range g.byAction {
+		st.Actions[a] = append([]string(nil), links...)
+	}
+	return st
+}
+
+// Restore replaces the frontier's state with the snapshot.
+func (g *Grouped) Restore(st GroupedState) {
+	g.byAction = make(map[int][]string, len(st.Actions))
+	g.total = 0
+	for a, links := range st.Actions {
+		g.byAction[a] = append([]string(nil), links...)
+		g.total += len(links)
+	}
+	g.seed = st.Seed
+	g.rng, g.src = newCountedRand(st.Seed, st.Draws)
+}

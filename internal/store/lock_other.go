@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms have no flock; the store then relies on the caller
+// honoring the one-writer-per-directory contract.
+func lockFile(*os.File) error   { return nil }
+func unlockFile(*os.File) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes the store directory's advisory writer lock (non-blocking):
+// flock is released by the OS when the process dies, so a crashed crawl
+// never wedges its store.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

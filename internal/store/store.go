@@ -1,0 +1,548 @@
+// Package store is the persistent crawl store: a durable, append-only
+// key/value log that the crawl stack writes its replay database,
+// checkpoints, and speculation-cache spill through, so a budgeted crawl can
+// stop and resume and a fleet can survive a process restart (the BUbiNG
+// discipline of persisting the frontier/workbench, applied to this
+// reproduction's replay-database design).
+//
+// # On-disk format
+//
+// A store is a directory of numbered segment files, 00000001.seg,
+// 00000002.seg, …, each an append-only sequence of records:
+//
+//	uint32 keyLen | uint32 valLen | uint32 crc32(IEEE, key ‖ val) | key | val
+//
+// (little-endian header, 12 bytes). Records are never rewritten in place:
+// a Put of an existing key appends a fresh record, and the in-memory index
+// — key → (segment, offset, length), rebuilt by scanning the segments in
+// order on Open — always points at the newest copy. Get reads the value
+// back from its segment, so resident memory stays proportional to the key
+// set, not the stored bytes.
+//
+// # Snapshots
+//
+// Superseded records are garbage until Snapshot() compacts the store: it
+// writes every live entry into one fresh segment (in sorted key order),
+// syncs it, and deletes the older segments. Close() compacts automatically
+// when more than half of the stored bytes are garbage. Between snapshots a
+// record is durable once Sync() has flushed it (Put buffers through bufio);
+// the crawl layer syncs at every checkpoint.
+//
+// # Corruption recovery
+//
+// Open never trusts a segment: a record whose header is implausible, whose
+// CRC does not match, or which runs past end-of-file ends the scan of that
+// segment at the last good record. A damaged tail segment is truncated back
+// to its last good byte; damage is reported through Recovery() rather than
+// by failing Open, so a crawl resumes from the last durable checkpoint
+// instead of refusing to start. New writes always go to a fresh segment.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend is the byte-level durable map the crawl layers plug into
+// (fetch.Replay's disk spill, checkpoint sinks, speculation-cache
+// persistence). *Store implements it; Prefixed scopes one store into
+// independent namespaces.
+type Backend interface {
+	// Put durably records key → val (last write wins).
+	Put(key string, val []byte) error
+	// Get returns the newest value recorded for key.
+	Get(key string) ([]byte, bool)
+	// Keys lists, in sorted order, every live key with the prefix.
+	Keys(prefix string) []string
+	// Sync flushes buffered writes to the OS.
+	Sync() error
+}
+
+const (
+	recHeaderLen = 12
+	maxKeyLen    = 1 << 20 // sanity bound: larger lengths mean corruption
+	maxValLen    = 1 << 30
+	segSuffix    = ".seg"
+)
+
+// Recovery reports damage Open found and healed.
+type Recovery struct {
+	// Segment is the damaged file's name.
+	Segment string
+	// DroppedBytes is how much of it was unreadable and discarded.
+	DroppedBytes int64
+	// Truncated reports whether the file was cut back to its last good
+	// record (tail damage) as opposed to merely skipped past.
+	Truncated bool
+}
+
+// loc addresses one live record's value.
+type loc struct {
+	seg  int // index into s.segs
+	off  int64
+	vlen int
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	name string
+	f    *os.File
+	size int64
+}
+
+// Store is a durable key/value log (see the package documentation for the
+// format). It is safe for concurrent use: a fleet's crawls share one Store.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	segs []segment
+	// active writer state (always the last element of segs).
+	w          *bufio.Writer
+	flushedOff int64 // bytes of the active segment visible to reads
+	index      map[string]loc
+	liveBytes  int64 // record bytes reachable through the index
+	totalBytes int64 // record bytes across all segments (live + garbage)
+	recovered  []Recovery
+	lock       *os.File // flock-held writer lock (LOCK file)
+	closed     bool
+}
+
+// Open opens (creating if needed) the store directory, rebuilds the index
+// from the segments, heals any corruption (see Recovery), and starts a
+// fresh active segment for new writes.
+//
+// A directory has exactly one writer: Open takes an advisory flock on a
+// LOCK file inside it and fails immediately when another process (or
+// another Store in this process) holds it. The OS releases the lock when a
+// crashed process dies, so recovery never needs manual unlocking.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is already open in another process: %w", dir, err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		unlockFile(lock)
+		lock.Close()
+		return nil, err
+	}
+	s := &Store{dir: dir, index: make(map[string]loc), lock: lock}
+	for i, name := range names {
+		if err := s.scanSegment(name, i == len(names)-1); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	if err := s.startActive(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segmentNames lists the directory's segment files in log order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded numbering makes this log order
+	return names, nil
+}
+
+// scanSegment reads one segment into the index, healing damage. tail marks
+// the log's last segment, the only one whose damage is physically
+// truncated away (see the package doc).
+func (s *Store) scanSegment(name string, tail bool) error {
+	path := filepath.Join(s.dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	size := info.Size()
+	segIdx := len(s.segs)
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var hdr [recHeaderLen]byte
+	key := make([]byte, 0, 256)
+	for off < size {
+		good := true
+		var klen, vlen uint32
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			good = false
+		} else {
+			klen = binary.LittleEndian.Uint32(hdr[0:4])
+			vlen = binary.LittleEndian.Uint32(hdr[4:8])
+			if klen == 0 || klen > maxKeyLen || vlen > maxValLen ||
+				off+recHeaderLen+int64(klen)+int64(vlen) > size {
+				good = false
+			}
+		}
+		if good {
+			want := binary.LittleEndian.Uint32(hdr[8:12])
+			key = resize(key, int(klen))
+			val := make([]byte, vlen)
+			if _, err := io.ReadFull(br, key); err != nil {
+				good = false
+			} else if _, err := io.ReadFull(br, val); err != nil {
+				good = false
+			} else {
+				crc := crc32.ChecksumIEEE(key)
+				crc = crc32.Update(crc, crc32.IEEETable, val)
+				if crc != want {
+					good = false
+				} else {
+					recLen := recHeaderLen + int64(klen) + int64(vlen)
+					s.indexRecord(string(key), loc{seg: segIdx, off: off + recHeaderLen + int64(klen), vlen: int(vlen)}, recLen)
+					off += recLen
+				}
+			}
+		}
+		if !good {
+			// Damage: drop everything from the first bad byte on. The tail
+			// segment is physically truncated so the next process sees a
+			// clean log; a mid-log segment is only skipped past — its later
+			// records are unreachable once the scan loses framing, but the
+			// bytes stay on disk for inspection.
+			rec := Recovery{Segment: name, DroppedBytes: size - off}
+			if tail {
+				if err := f.Truncate(off); err == nil {
+					rec.Truncated = true
+					size = off
+				}
+			}
+			s.recovered = append(s.recovered, rec)
+			break
+		}
+	}
+	s.totalBytes += size
+	s.segs = append(s.segs, segment{name: name, f: f, size: size})
+	return nil
+}
+
+// indexRecord points the index at a newly scanned or written record,
+// keeping the live/garbage accounting straight.
+func (s *Store) indexRecord(key string, l loc, recLen int64) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= recHeaderLen + int64(len(key)) + int64(old.vlen)
+	}
+	s.index[key] = l
+	s.liveBytes += recLen
+}
+
+// startActive opens a fresh segment for writes, numbered after the last.
+func (s *Store) startActive() error {
+	next := 1
+	if n := len(s.segs); n > 0 {
+		if _, err := fmt.Sscanf(s.segs[n-1].name, "%d", &next); err == nil {
+			next++
+		} else {
+			next = n + 1
+		}
+	}
+	name := fmt.Sprintf("%08d%s", next, segSuffix)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, segment{name: name, f: f})
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	s.flushedOff = 0
+	return nil
+}
+
+// Put implements Backend.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if len(key) == 0 || len(key) > maxKeyLen || len(val) > maxValLen {
+		return fmt.Errorf("store: key/value size out of range (key %d, val %d)", len(key), len(val))
+	}
+	active := &s.segs[len(s.segs)-1]
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
+	crc := crc32.ChecksumIEEE([]byte(key))
+	crc = crc32.Update(crc, crc32.IEEETable, val)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc)
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.w.WriteString(key); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.w.Write(val); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	recLen := recHeaderLen + int64(len(key)) + int64(len(val))
+	s.indexRecord(key, loc{seg: len(s.segs) - 1, off: active.size + recHeaderLen + int64(len(key)), vlen: len(val)}, recLen)
+	active.size += recLen
+	s.totalBytes += recLen
+	return nil
+}
+
+// Get implements Backend.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.index[key]
+	if !ok || s.closed {
+		return nil, false
+	}
+	// A record still sitting in the write buffer is not readable from the
+	// file yet; flush first.
+	if l.seg == len(s.segs)-1 && l.off+int64(l.vlen) > s.flushedOff {
+		if err := s.flushLocked(); err != nil {
+			return nil, false
+		}
+	}
+	val := make([]byte, l.vlen)
+	if _, err := s.segs[l.seg].f.ReadAt(val, l.off); err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// Has reports whether the key is live.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys implements Backend.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Recovery reports the damage Open healed (nil for a clean store).
+func (s *Store) Recovery() []Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Recovery(nil), s.recovered...)
+}
+
+// GarbageRatio reports the fraction of stored bytes no longer reachable
+// through the index (superseded records awaiting Snapshot).
+func (s *Store) GarbageRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.totalBytes == 0 {
+		return 0
+	}
+	return float64(s.totalBytes-s.liveBytes) / float64(s.totalBytes)
+}
+
+// Sync implements Backend: buffered writes become visible to the OS (and to
+// a post-crash Open).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.flushedOff = s.segs[len(s.segs)-1].size
+	return nil
+}
+
+// Snapshot compacts the store: every live entry is rewritten into one fresh
+// segment (sorted key order), the segment is fsynced, and the older
+// segments are deleted. Afterwards GarbageRatio is 0 and Open rebuilds the
+// index from the single snapshot segment plus whatever is appended later.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	old := s.segs
+	// The snapshot segment is numbered after the current active one, so log
+	// order still replays it last.
+	s.segs = append([]segment(nil), s.segs...)
+	if err := s.startActive(); err != nil {
+		s.segs = old
+		return err
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	newIdx := len(s.segs) - 1
+	active := &s.segs[newIdx]
+	var written int64
+	newLocs := make(map[string]loc, len(keys))
+	for _, k := range keys {
+		l := s.index[k]
+		val := make([]byte, l.vlen)
+		if _, err := s.segs[l.seg].f.ReadAt(val, l.off); err != nil {
+			return fmt.Errorf("store: snapshot read: %w", err)
+		}
+		var hdr [recHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(k)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
+		crc := crc32.ChecksumIEEE([]byte(k))
+		crc = crc32.Update(crc, crc32.IEEETable, val)
+		binary.LittleEndian.PutUint32(hdr[8:12], crc)
+		if _, err := s.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.w.WriteString(k); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.w.Write(val); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		recLen := recHeaderLen + int64(len(k)) + int64(len(val))
+		newLocs[k] = loc{seg: newIdx, off: active.size + recHeaderLen + int64(len(k)), vlen: len(val)}
+		active.size += recLen
+		written += recLen
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := active.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Drop the superseded segments and renumber the index onto the snapshot.
+	for _, seg := range old {
+		seg.f.Close()
+		os.Remove(filepath.Join(s.dir, seg.name))
+	}
+	s.segs = []segment{*active}
+	for k, l := range newLocs {
+		l.seg = 0
+		newLocs[k] = l
+	}
+	s.index = newLocs
+	s.liveBytes = written
+	s.totalBytes = written
+	s.flushedOff = active.size
+	// Reattach the writer to the (now only) segment.
+	s.w = bufio.NewWriterSize(active.f, 1<<16)
+	return nil
+}
+
+// Close flushes, compacts when more than half the stored bytes are garbage,
+// and releases the file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	compact := s.totalBytes > 0 && float64(s.totalBytes-s.liveBytes) > 0.5*float64(s.totalBytes)
+	s.mu.Unlock()
+	if compact {
+		if err := s.Snapshot(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.flushLocked()
+	s.closeFiles()
+	s.closed = true
+	return err
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+	if s.lock != nil {
+		unlockFile(s.lock)
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+var _ Backend = (*Store)(nil)
+
+// Prefixed scopes a Backend into a namespace: every key is transparently
+// prefixed, so independent layers (per-site replay databases, checkpoints,
+// the speculation spill) share one physical store without colliding.
+func Prefixed(b Backend, prefix string) Backend {
+	return &prefixed{b: b, p: prefix}
+}
+
+type prefixed struct {
+	b Backend
+	p string
+}
+
+func (pb *prefixed) Put(key string, val []byte) error { return pb.b.Put(pb.p+key, val) }
+func (pb *prefixed) Get(key string) ([]byte, bool)    { return pb.b.Get(pb.p + key) }
+func (pb *prefixed) Sync() error                      { return pb.b.Sync() }
+func (pb *prefixed) Keys(prefix string) []string {
+	full := pb.b.Keys(pb.p + prefix)
+	out := make([]string, len(full))
+	for i, k := range full {
+		out[i] = strings.TrimPrefix(k, pb.p)
+	}
+	return out
+}
+
+func resize(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

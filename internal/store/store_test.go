@@ -1,0 +1,363 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := s.Get(fmt.Sprintf("k%03d", i))
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("Get(k%03d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) = true")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the index is rebuilt from the segments.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 100 {
+		t.Fatalf("reopened Len = %d, want 100", got)
+	}
+	v, ok := s2.Get("k042")
+	if !ok || string(v) != "value-42" {
+		t.Fatalf("reopened Get(k042) = %q, %v", v, ok)
+	}
+	if rec := s2.Recovery(); rec != nil {
+		t.Fatalf("clean store reported recovery: %+v", rec)
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := s.Get("k"); string(v) != "v4" {
+		t.Fatalf("Get = %q, want v4", v)
+	}
+	if s.GarbageRatio() <= 0 {
+		t.Fatal("superseded records should count as garbage")
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, _ := s2.Get("k"); string(v) != "v4" {
+		t.Fatalf("reopened Get = %q, want v4", v)
+	}
+	if n := s2.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestKeysPrefixAndPrefixed(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ns := Prefixed(s, "a|")
+	other := Prefixed(s, "b|")
+	ns.Put("x", []byte("1"))
+	ns.Put("y", []byte("2"))
+	other.Put("x", []byte("3"))
+	if got := ns.Keys(""); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("ns.Keys = %v", got)
+	}
+	if v, _ := other.Get("x"); string(v) != "3" {
+		t.Fatalf("namespaces collided: %q", v)
+	}
+	if got := s.Keys("a|"); !reflect.DeepEqual(got, []string{"a|x", "a|y"}) {
+		t.Fatalf("raw Keys = %v", got)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%02d", i%10), []byte(fmt.Sprintf("gen-%d", i)))
+	}
+	if s.GarbageRatio() < 0.5 {
+		t.Fatalf("expected heavy garbage before snapshot, got %.2f", s.GarbageRatio())
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GarbageRatio(); g != 0 {
+		t.Fatalf("GarbageRatio after snapshot = %.2f, want 0", g)
+	}
+	// The store still serves, accepts writes, and survives a reopen.
+	if v, _ := s.Get("k03"); string(v) != "gen-43" {
+		t.Fatalf("post-snapshot Get = %q", v)
+	}
+	s.Put("new", []byte("after"))
+	s.Close()
+
+	files, _ := os.ReadDir(dir)
+	if len(files) > 2 {
+		t.Fatalf("snapshot left %d segments behind", len(files))
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Len(); n != 11 {
+		t.Fatalf("reopened Len = %d, want 11", n)
+	}
+	if v, _ := s2.Get("new"); string(v) != "after" {
+		t.Fatalf("post-snapshot append lost: %q", v)
+	}
+}
+
+// corruptTail opens the newest non-empty segment and damages its tail.
+func corruptTail(t *testing.T, dir string, f func(data []byte) []byte) {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		if err := os.WriteFile(path, f(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no non-empty segment to corrupt")
+}
+
+func TestRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	s.Close()
+	// Chop the last record in half, as a crash mid-write would.
+	corruptTail(t, dir, func(data []byte) []byte { return data[:len(data)-60] })
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open should recover, not fail: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if len(rec) != 1 || rec[0].DroppedBytes == 0 || !rec[0].Truncated {
+		t.Fatalf("Recovery = %+v, want one truncated-tail report", rec)
+	}
+	// Everything before the damaged record survives.
+	if n := s2.Len(); n != 19 {
+		t.Fatalf("Len after recovery = %d, want 19", n)
+	}
+	if v, ok := s2.Get("k18"); !ok || !bytes.Equal(v, bytes.Repeat([]byte{18}, 100)) {
+		t.Fatalf("Get(k18) after recovery = %v, %v", v, ok)
+	}
+	if _, ok := s2.Get("k19"); ok {
+		t.Fatal("the damaged record should be gone")
+	}
+	// Recovery is sticky-clean: a re-open after healing reports nothing.
+	s2.Put("k19", []byte("rewritten"))
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rec := s3.Recovery(); rec != nil {
+		t.Fatalf("healed store still reports recovery: %+v", rec)
+	}
+	if v, _ := s3.Get("k19"); string(v) != "rewritten" {
+		t.Fatalf("Get(k19) = %q", v)
+	}
+}
+
+func TestRecoveryCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 50))
+	}
+	s.Close()
+	// Flip a byte inside the last record's value.
+	corruptTail(t, dir, func(data []byte) []byte {
+		data[len(data)-10] ^= 0xff
+		return data
+	})
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open should recover, not fail: %v", err)
+	}
+	defer s2.Close()
+	if rec := s2.Recovery(); len(rec) != 1 {
+		t.Fatalf("Recovery = %+v, want one report", rec)
+	}
+	if n := s2.Len(); n != 9 {
+		t.Fatalf("Len = %d, want 9 (the flipped record dropped)", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(key); !ok || string(v) != key {
+					t.Errorf("Get(%s) = %q, %v", key, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Len(); n != 8*200 {
+		t.Fatalf("Len = %d, want %d", n, 8*200)
+	}
+}
+
+func TestSyncMakesWritesDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("k", []byte("v"))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the handles without Close's flush.
+	s.mu.Lock()
+	s.closeFiles()
+	s.closed = true
+	s.mu.Unlock()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("synced record lost: %q, %v", v, ok)
+	}
+}
+
+func TestOpenRefusesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open of a live store must fail")
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestRecoveryMidLogSkipsWithoutTruncating(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("first", []byte("one"))
+	s.Close()
+	s2, _ := Open(dir)
+	s2.Put("second", []byte("two"))
+	s2.Close()
+	// Damage the FIRST (mid-log) segment: flip a byte inside its record.
+	names, err := segmentNames(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("want ≥2 segments, got %v (%v)", names, err)
+	}
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open should recover: %v", err)
+	}
+	defer s3.Close()
+	rec := s3.Recovery()
+	if len(rec) != 1 || rec[0].Truncated {
+		t.Fatalf("mid-log damage should be skipped, not truncated: %+v", rec)
+	}
+	// The damaged bytes stay on disk for inspection.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("mid-log segment was truncated from %d to %d bytes", len(data), len(after))
+	}
+	// Later segments still serve.
+	if v, ok := s3.Get("second"); !ok || string(v) != "two" {
+		t.Fatalf("Get(second) = %q, %v", v, ok)
+	}
+	if _, ok := s3.Get("first"); ok {
+		t.Fatal("the damaged record should be unreachable")
+	}
+}

@@ -1,0 +1,262 @@
+package sbcrawl
+
+// This file is the persistence layer of the public API: it wires
+// Config.StorePath / Config.Resume into the internal/store segment log.
+// Three kinds of state go through one store directory, each in its own key
+// namespace:
+//
+//   - the replay database (every GET/HEAD response, via fetch.Replay's
+//     disk backend) — the durable substrate resume is built on;
+//   - crawl records: periodic engine checkpoints and, when a crawl
+//     finishes, its complete serialized result (the done-record);
+//   - the fleet speculation cache (fleet.SpecCache), spilled after a fleet
+//     and preloaded into the next, so successive fleets start warm.
+//
+// Resume is deterministic re-execution: a killed crawl left every response
+// it ever saw in the store, so running the same Config again replays the
+// prefix from disk at memory speed and continues over the network from the
+// exact request the kill interrupted — byte-identical to a run that was
+// never killed, for every strategy and prefetch width, wherever the kill
+// landed. Config.Resume additionally short-circuits crawls whose
+// done-record (keyed by a fingerprint of the result-relevant Config
+// fields) is already stored, so a restarted fleet only re-executes the
+// sites that had not finished.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/fleet"
+	"sbcrawl/internal/store"
+)
+
+// StoreStats reports what the persistent crawl store (Config.StorePath)
+// contributed to one crawl.
+type StoreStats struct {
+	// Resumed reports that the store already held responses for this
+	// crawl's site when the crawl started (a warm start).
+	Resumed bool
+	// Completed reports that Config.Resume found the crawl's done-record
+	// and returned the stored result without re-executing.
+	Completed bool
+	// ReplayHits / ReplayMisses count replay-database lookups: hits were
+	// served from the durable database (no backend traffic), misses went
+	// to the network (or simulated site) and were recorded.
+	ReplayHits   int
+	ReplayMisses int
+	// ReplayStored is the number of distinct GET responses the database
+	// held when the crawl ended.
+	ReplayStored int
+}
+
+// add accumulates per-site stats into a fleet aggregate.
+func (s *StoreStats) add(o *StoreStats) {
+	if o == nil {
+		return
+	}
+	s.Resumed = s.Resumed || o.Resumed
+	s.Completed = s.Completed && o.Completed
+	s.ReplayHits += o.ReplayHits
+	s.ReplayMisses += o.ReplayMisses
+	s.ReplayStored += o.ReplayStored
+}
+
+// crawlStore is one open store directory, shared by every crawl of a call
+// (a fleet's sites write through one handle; *store.Store is locked).
+type crawlStore struct {
+	st *store.Store
+}
+
+// openCrawlStore opens (or creates) the store directory. A directory has
+// one writer at a time: concurrent opens of the same path fail cleanly
+// rather than interleaving segments.
+func openCrawlStore(path string) (*crawlStore, error) {
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sbcrawl: opening store %q: %w", path, err)
+	}
+	return &crawlStore{st: st}, nil
+}
+
+// Close flushes and compacts the store (snapshot compaction kicks in when
+// more than half the log is superseded records).
+func (cs *crawlStore) Close() error { return cs.st.Close() }
+
+// fingerprint hashes the parts that select distinct durable state.
+func fingerprint(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// simNamespace scopes store keys to one generated site: the same
+// (code, scale, seed) triple regenerates identical content, so its
+// responses are shareable across runs; any other triple is another site.
+func simNamespace(site *Site) string {
+	return "s" + fingerprint(site.code, fmt.Sprintf("%g", site.scale), fmt.Sprintf("%d", site.seed))
+}
+
+// liveNamespace scopes store keys for a live crawl: one namespace per
+// (host, UserAgent) — a host may serve different agents differently, so
+// responses only replay for the identity that fetched them.
+func liveNamespace(cfg Config) string {
+	host := cfg.Root
+	if u, err := url.Parse(cfg.Root); err == nil && u.Host != "" {
+		host = u.Host
+	}
+	return "l" + fingerprint(host, cfg.UserAgent)
+}
+
+// cfgFingerprint keys done-records: every Config field that can change a
+// crawl's result participates. Prefetch and SimLatency are deliberately
+// absent — results are byte-identical at every speculation width and
+// latency, so a done-record serves them all.
+func cfgFingerprint(cfg Config, root string) string {
+	mimes := append([]string(nil), cfg.TargetMIMEs...)
+	sort.Strings(mimes)
+	return fingerprint(
+		root,
+		string(cfg.Strategy),
+		fmt.Sprintf("%d", cfg.Seed),
+		fmt.Sprintf("%d", cfg.MaxRequests),
+		fmt.Sprintf("%v", cfg.EarlyStop),
+		fmt.Sprintf("%g", cfg.Theta),
+		fmt.Sprintf("%g", cfg.Alpha),
+		fmt.Sprintf("%d", cfg.NGram),
+		fmt.Sprintf("%d", cfg.BatchSize),
+		cfg.ClassifierModel,
+		strings.Join(mimes, ","),
+	)
+}
+
+// persistedCrawl is the per-crawl persistence context attach() wires up.
+type persistedCrawl struct {
+	cs      *crawlStore
+	records store.Backend // "<ns>|c|" namespace: checkpoints + done-record
+	replay  *fetch.Replay
+	doneKey string
+	resumed bool
+}
+
+// attach wires the store into a crawl Env: the fetcher is wrapped in a
+// disk-backed replay database and the engine's checkpoint hook writes
+// through the store. Must run before the crawl starts.
+func (cs *crawlStore) attach(env *core.Env, cfg Config, ns string) *persistedCrawl {
+	replay := fetch.NewReplay(env.Fetcher)
+	replay.SetBackend(store.Prefixed(cs.st, ns+"|r|"))
+	env.Fetcher = replay
+	pc := &persistedCrawl{
+		cs:      cs,
+		records: store.Prefixed(cs.st, ns+"|c|"),
+		replay:  replay,
+		doneKey: "done|" + cfgFingerprint(cfg, env.Root),
+		resumed: replay.Stored() > 0,
+	}
+	env.Checkpoint = &storeSink{b: pc.records, key: "ckpt|" + cfgFingerprint(cfg, env.Root)}
+	return pc
+}
+
+// loadDone returns the crawl's stored final result, if it ever completed
+// with this Config.
+func (pc *persistedCrawl) loadDone() (*core.Result, bool) {
+	raw, ok := pc.records.Get(pc.doneKey)
+	if !ok {
+		return nil, false
+	}
+	var res core.Result
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// finish durably records the crawl's complete result, so a Resume of the
+// same Config returns it without re-executing.
+func (pc *persistedCrawl) finish(res *core.Result) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return
+	}
+	if err := pc.records.Put(pc.doneKey, buf.Bytes()); err != nil {
+		return
+	}
+	pc.records.Sync()
+}
+
+// stats snapshots the crawl's store activity for the public Result.
+func (pc *persistedCrawl) stats(completed bool) *StoreStats {
+	return &StoreStats{
+		Resumed:      pc.resumed,
+		Completed:    completed,
+		ReplayHits:   pc.replay.Hits(),
+		ReplayMisses: pc.replay.Misses(),
+		ReplayStored: pc.replay.Stored(),
+	}
+}
+
+// storeSink adapts the store to the engine's checkpoint hook: each
+// checkpoint is one durable record (last write wins; compaction reclaims
+// the lineage) and a sync, so the store on disk is never more than one
+// checkpoint interval behind the crawl.
+type storeSink struct {
+	b   store.Backend
+	key string
+}
+
+func (s *storeSink) Checkpoint(cp core.Checkpoint) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return
+	}
+	if err := s.b.Put(s.key, buf.Bytes()); err != nil {
+		return
+	}
+	s.b.Sync()
+}
+
+// specPrefix is the key namespace one speculation cache spills into.
+// CrawlSites scopes it per simulated site; CrawlMany per UserAgent (URL
+// keys embed the host, so one per-agent namespace spans hosts safely).
+func specPrefix(ns string) string { return ns + "|spec|" }
+
+func uaNamespace(userAgent string) string { return "u" + fingerprint(userAgent) }
+
+// preloadSpecCache warms a fleet speculation cache from the store.
+func preloadSpecCache(cs *crawlStore, ns string, cache *fleet.SpecCache) {
+	b := store.Prefixed(cs.st, specPrefix(ns))
+	for _, url := range b.Keys("") {
+		raw, ok := b.Get(url)
+		if !ok {
+			continue
+		}
+		resp, err := fetch.DecodeResponse(raw)
+		if err != nil {
+			continue
+		}
+		cache.Preload(url, resp)
+	}
+}
+
+// persistSpecCache spills a fleet speculation cache into the store, so the
+// next fleet (or a resumed one) starts warm.
+func persistSpecCache(cs *crawlStore, ns string, cache *fleet.SpecCache) {
+	b := store.Prefixed(cs.st, specPrefix(ns))
+	cache.Range(func(url string, resp fetch.Response) {
+		raw, err := fetch.EncodeResponse(resp)
+		if err != nil {
+			return
+		}
+		b.Put(url, raw)
+	})
+	b.Sync()
+}

@@ -53,6 +53,20 @@
 // requests within each site. Cancellation (FleetOptions.Ctx) interrupts
 // politeness and simulated-latency sleeps promptly rather than finishing
 // them.
+//
+// # Persistence
+//
+// Config.StorePath makes a crawl durable: every response is written
+// through to an append-only segment log on disk (the persistent form of
+// the paper's Section 4.4 local response database), the engine checkpoints
+// its progress periodically, and finished crawls record their results. A
+// crawl killed at any point — budget, cancellation, or a crash — resumes
+// by simply running the same Config again: the completed prefix replays
+// from disk and the Result is byte-identical to a never-interrupted run.
+// Config.Resume additionally skips crawls whose recorded results are
+// already stored, so a restarted fleet only re-executes unfinished sites,
+// and FleetOptions.SharedSpeculation caches persist across fleets (warm
+// start). See examples/stop_resume and internal/store.
 package sbcrawl
 
 import (
@@ -137,6 +151,28 @@ type Config struct {
 	// quickly when speculation is not paying off.
 	Prefetch int
 
+	// StorePath, when non-empty, opens the persistent crawl store at that
+	// directory: every response the crawl fetches is written through to an
+	// append-only, CRC-checked segment log (the durable form of the
+	// paper's Sec. 4.4 local response database), the engine checkpoints
+	// its progress periodically, and a finished crawl records its complete
+	// result. A later crawl of the same site over the same store starts
+	// warm — previously fetched responses replay from disk instead of
+	// re-fetching — and a crawl killed mid-flight resumes deterministically:
+	// re-running the same Config replays the completed prefix at memory
+	// speed and continues from the exact request the kill interrupted,
+	// producing a Result byte-identical to a never-interrupted run, at any
+	// Prefetch setting. One store directory serves a whole fleet (sites
+	// are namespaced inside it) but has a single writer at a time.
+	StorePath string
+	// Resume, with StorePath set, short-circuits crawls that already
+	// completed: when the store holds a done-record for this exact Config
+	// (strategy, seed, budget, hyper-parameters), the stored Result is
+	// returned without re-executing. Crawls without a done-record run
+	// normally — over the warm store — so a killed fleet restarted with
+	// Resume only re-executes its unfinished sites.
+	Resume bool
+
 	// Theta is the tag-path similarity threshold θ (default 0.75).
 	Theta float64
 	// Alpha is the exploration coefficient α (default 2√2).
@@ -180,6 +216,11 @@ type Result struct {
 	EarlyStopped bool
 	// Curve samples the crawl's progress (at most 500 points).
 	Curve []CurvePoint
+	// Store reports the persistent store's activity (replay hits, warm
+	// start, resume short-circuit); nil when Config.StorePath was empty.
+	// Diagnostic only: two runs of one Config differ at most here, never
+	// in the crawl outcome above.
+	Store *StoreStats
 }
 
 // Crawl runs the configured strategy against a live website over HTTP,
@@ -191,7 +232,7 @@ func Crawl(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runCrawl(cfg, env, 0)
+	return runCrawl(cfg, env, 0, liveNamespace(cfg))
 }
 
 // liveEnv validates a live-crawl Config and wires its Env: one fresh polite
@@ -227,20 +268,77 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 	}, nil
 }
 
-// runCrawl builds the crawler, runs it, and converts the result.
-func runCrawl(cfg Config, env *core.Env, sitePages int) (*Result, error) {
+// runCrawl builds the crawler, runs it (with durable persistence when
+// Config.StorePath is set), and converts the result. ns scopes the crawl's
+// keys inside the store (one namespace per site identity).
+func runCrawl(cfg Config, env *core.Env, sitePages int, ns string) (*Result, error) {
+	if cfg.StorePath == "" {
+		res, _, err := execCrawl(cfg, env, sitePages)
+		if err != nil {
+			return nil, err
+		}
+		return convertResult(res), nil
+	}
+	cs, err := openCrawlStore(cfg.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	defer cs.Close()
+	res, stats, err := persistedRun(cs, cfg, env, sitePages, ns)
+	if err != nil {
+		return nil, err
+	}
+	out := convertResult(res)
+	out.Store = stats
+	return out, nil
+}
+
+// persistedRun executes one crawl through an already-open store: the
+// shared path of runCrawl (single crawls) and the fleet jobs (which share
+// one store handle across sites).
+func persistedRun(cs *crawlStore, cfg Config, env *core.Env, sitePages int, ns string) (*core.Result, *StoreStats, error) {
+	pc := cs.attach(env, cfg, ns)
+	if cfg.Resume {
+		if res, ok := pc.loadDone(); ok {
+			return res, pc.stats(true), nil
+		}
+	}
+	res, interrupted, err := execCrawl(cfg, env, sitePages)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A cancelled crawl is partial: recording it as done would freeze the
+	// partial result as final. Its responses are already durable, so a
+	// resume re-executes to wherever it got and continues.
+	if !interrupted {
+		pc.finish(res)
+	}
+	return res, pc.stats(false), nil
+}
+
+// execCrawl builds and runs the crawler, reporting whether cancellation
+// (not completion, budget, or early stop) ended the crawl.
+func execCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, bool, error) {
 	if len(cfg.TargetMIMEs) > 0 {
 		env.TargetMIMEs = urlutil.NewMIMESet(cfg.TargetMIMEs)
 	}
 	crawler, err := buildCrawler(cfg, sitePages)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	res, err := crawler.Run(env)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return convertResult(res), nil
+	interrupted := false
+	if env.Ctx != nil {
+		select {
+		case <-env.Ctx.Done():
+			interrupted = true
+		default:
+		}
+	}
+	return res, interrupted, nil
 }
 
 // convertResult maps an internal crawl result onto the public type.

@@ -31,6 +31,16 @@ if [ "${1:-}" = "extract" ]; then
 	exit 0
 fi
 
+if [ "${1:-}" = "store" ]; then
+	# Storage-layer trajectory: the internal/store segment-log benchmarks
+	# (replay-database round trip, snapshot compaction, resume overhead)
+	# recorded in BENCH_store.json.
+	OUT=${2:-BENCH_store.json}
+	go test -run '^$' -bench . -benchtime 1000x -json ./internal/store > "$OUT"
+	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
+	exit 0
+fi
+
 OUT=${1:-BENCH_engine.json}
 go test -run '^$' -bench . -benchtime 1x -json ./... > "$OUT"
 echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2

@@ -18,3 +18,11 @@ go test -race ./...
 # pipeline widths, the fleet speedup, the adaptive speculation window, and
 # the fleet-shared speculation cache.
 go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel|BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache' -benchtime 1x .
+# Storage-layer smoke: the segment-log benchmarks behind BENCH_store.json
+# (round trip, snapshot compaction, resume/index-rebuild overhead) still
+# build and run.
+go test -run '^$' -bench 'BenchmarkStoreRoundTrip|BenchmarkStoreSnapshot|BenchmarkResumeOverhead' -benchtime 1x ./internal/store
+# Resume determinism gate, explicitly under -race: kill-at-step-k then
+# resume over the persistent store must stay byte-identical to an
+# uninterrupted run for every strategy and prefetch width.
+go test -race -run 'TestResumeEquivalence' -count=1 .

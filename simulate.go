@@ -19,6 +19,12 @@ import (
 type Site struct {
 	site   *sitegen.Site
 	server *webserver.Server
+	// Generation parameters, recorded so the persistent store can scope
+	// its keys to this exact site: the same (code, scale, seed) triple
+	// regenerates identical content, any other triple is a different site.
+	code  string
+	scale float64
+	seed  int64
 }
 
 // SiteCodes lists the available site profiles (Table 1 of the paper):
@@ -41,7 +47,7 @@ func GenerateSite(code string, scale float64, seed int64) (*Site, error) {
 		return nil, fmt.Errorf("sbcrawl: unknown site code %q (see SiteCodes)", code)
 	}
 	site := sitegen.Generate(sitegen.Config{Profile: profile, Scale: scale, Seed: seed})
-	return &Site{site: site, server: webserver.New(site)}, nil
+	return &Site{site: site, server: webserver.New(site), code: code, scale: scale, seed: seed}, nil
 }
 
 // Root returns the site's start URL.
@@ -70,7 +76,7 @@ func (s *Site) Handler() http.Handler { return s.server.Handler() }
 // CrawlSite runs any strategy against a simulated site, in memory, with all
 // ground truth wired for the oracle strategies. cfg.Root is ignored.
 func CrawlSite(site *Site, cfg Config) (*Result, error) {
-	return runCrawl(cfg, siteCrawlEnv(site, cfg, nil), site.PageCount())
+	return runCrawl(cfg, siteCrawlEnv(site, cfg, nil), site.PageCount(), simNamespace(site))
 }
 
 // siteCrawlEnv wires a fresh crawl Env over a simulated site: its own

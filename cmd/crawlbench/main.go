@@ -52,6 +52,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory for figure CSV series")
 		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
 		prefetch = flag.String("prefetch", "0", "speculative fetch window per crawl: a width, 0 (sequential engine), or 'auto' (adaptive)")
+		parseW   = flag.Int("parse-workers", 0, "parallel parse workers per pipelined crawl: 0 = auto (min(cores-1, 4)), n fixes the pool, negative disables; ignored without -prefetch")
 		stats    = flag.Bool("stats", false, "append the speculation hit-rate report after the experiment (see -exp speculation)")
 		storeDir = flag.String("store", "", "persistent crawl store directory: responses spill to an append-only segment log and replay on later runs (see -exp resume)")
 		resume   = flag.Bool("resume", false, "mark the run as a continuation over -store: previously fetched responses replay from disk instead of re-fetching")
@@ -83,7 +84,8 @@ func main() {
 		Runs:      *runs,
 		MaxPages:  *maxPages,
 		Workers:   *parallel,
-		Prefetch:  prefetchWidth,
+		Prefetch:     prefetchWidth,
+		ParseWorkers: *parseW,
 		CSVDir:    *csvDir,
 		StorePath: *storeDir,
 		Resume:    *resume,

@@ -52,6 +52,17 @@ type Env struct {
 	// never charged to the budget. The Fetcher must be safe for concurrent
 	// Gets (all provided ones are).
 	Prefetch int
+	// ParseWorkers controls the parallel parse stage of a pipelined crawl:
+	// completed speculative GETs with HTML bodies are tokenized and
+	// link-extracted by a bounded worker pool while the engine loop is
+	// still fetching and ingesting earlier pages, so the demand-side
+	// extractNewLinks usually finds the parse already done. 0 (the default)
+	// selects the automatic pool width min(GOMAXPROCS−1, 4); n > 0 fixes
+	// the width; any negative value disables the stage. Ignored for
+	// sequential crawls (Prefetch == 0). Like the Prefetcher, the stage is
+	// a pure cache warm-up — dom.ExtractLinks is a pure function of the
+	// body — so results stay byte-identical at every pool size.
+	ParseWorkers int
 	// SharedSpec, when non-nil and the crawl is pipelined, is the
 	// fleet-level shared speculation cache: speculative and demand GETs are
 	// published into it and cache misses consult it before the backend, so
@@ -164,6 +175,9 @@ type Result struct {
 	// out of the public Result, so the byte-identical determinism guarantee
 	// is unaffected.
 	Spec *fetch.PrefetchStats
+	// ParseHits counts link extractions served by the parallel parse stage
+	// (Env.ParseWorkers). Wall-clock diagnostic only, like Spec.
+	ParseHits int
 }
 
 // ActionStat summarizes one tag-path group after a crawl.
@@ -200,6 +214,9 @@ type engine struct {
 	fetcher        fetch.Fetcher     // Env.Fetcher, prefetch-wrapped when pipelining
 	prefetcher     *fetch.Prefetcher // nil when Env.Prefetch == 0
 	tuner          *fetch.AutoTuner  // adaptive window controller; nil unless PrefetchAuto
+	parse          *parseAhead       // parallel parse stage; nil unless pipelined
+	parseHits      int
+	rawLinks       []dom.Link // reusable raw-extraction buffer
 	specStats      *fetch.PrefetchStats
 	scope          *urlutil.Scope
 	mimes          urlutil.MIMESet
@@ -239,6 +256,10 @@ func newEngine(env *Env) (*engine, error) {
 		if env.SharedSpec != nil {
 			e.prefetcher.SetShared(env.SharedSpec)
 		}
+		if env.ParseWorkers >= 0 {
+			e.parse = newParseAhead(parseWorkerCount(env.ParseWorkers))
+			e.prefetcher.SetOnComplete(e.parse.observe)
+		}
 		e.fetcher = e.prefetcher
 	}
 	return e, nil
@@ -256,6 +277,11 @@ func (e *engine) close() {
 		e.prefetcher = nil
 		e.tuner = nil
 		e.fetcher = e.env.Fetcher
+	}
+	if e.parse != nil {
+		e.parse.close()
+		e.parseHits = e.parse.hitCount()
+		e.parse = nil
 	}
 }
 
@@ -418,7 +444,15 @@ func (e *engine) processSuccess(u string, resp fetch.Response) page {
 // document order.
 func (e *engine) extractNewLinks(pageURL string, body []byte) []dom.Link {
 	base := mustParse(pageURL)
-	raw := dom.ExtractLinks(body)
+	var raw []dom.Link
+	hit := false
+	if e.parse != nil {
+		raw, hit = e.parse.take(pageURL, body)
+	}
+	if !hit {
+		e.rawLinks = dom.ExtractLinksAppend(e.rawLinks[:0], body)
+		raw = e.rawLinks
+	}
 	out := make([]dom.Link, 0, len(raw))
 	inPage := make(map[string]bool, len(raw))
 	for _, l := range raw {
@@ -461,5 +495,6 @@ func (e *engine) result(name string, steps int) *Result {
 		NonTargetBytes: e.nonTargetBytes,
 		Steps:          steps,
 		Spec:           e.specStats,
+		ParseHits:      e.parseHits,
 	}
 }

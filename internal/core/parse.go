@@ -1,0 +1,173 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"sbcrawl/internal/dom"
+	"sbcrawl/internal/fetch"
+	"sbcrawl/internal/urlutil"
+)
+
+// This file is the parallel parse stage of the pipelined crawl engine: a
+// bounded worker pool that tokenizes and link-extracts speculative pages
+// while the engine's sequential loop is still fetching and ingesting earlier
+// ones, so the parse of page k+1 overlaps the ingest of page k.
+//
+// Determinism: dom.ExtractLinks is a pure function of the body bytes, so a
+// parse-ahead result for URL u with body b is exactly what the engine's own
+// inline call would compute. Everything order-dependent — the seen-set
+// filter, scope and blocklist checks, frontier updates — stays strictly
+// sequential in extractNewLinks. The stage is therefore a cache warm-up like
+// the Prefetcher itself: crawl results are byte-identical to ParseWorkers ==
+// 0 at every pool size, verified by the equivalence suites under -race.
+//
+// The pool is fed by the Prefetcher's completion hook (SetOnComplete): only
+// speculative GETs that returned an uninterrupted 2xx HTML body are worth
+// parsing ahead. Cached results are keyed by URL and validated against the
+// exact body identity (length + first-byte address) at consumption time, so
+// a response that somehow differs from the speculated one can never leak a
+// stale parse into the crawl.
+
+// parseJob is one page submitted for ahead-of-time link extraction.
+type parseJob struct {
+	url  string
+	body []byte
+}
+
+// parsedPage is one completed ahead-of-time extraction, remembered until the
+// engine consumes or evicts it.
+type parsedPage struct {
+	bodyLen int
+	body0   *byte // &body[0]; with bodyLen identifies the exact byte array
+	links   []dom.Link
+}
+
+// parseAheadCap bounds the completed-but-unconsumed parse cache (entries are
+// evicted oldest-first); parseAheadQueue bounds the submission queue — a
+// full queue drops the job, since parse-ahead is purely speculative.
+const (
+	parseAheadCap   = 128
+	parseAheadQueue = 64
+)
+
+// parseAhead is the bounded worker pool behind the parallel parse stage.
+type parseAhead struct {
+	jobs chan parseJob
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	done  map[string]parsedPage
+	order []string // insertion order, for oldest-first eviction
+	hits  int
+}
+
+// parseWorkerCount resolves Env.ParseWorkers: explicit n > 0 is taken as
+// given; 0 selects the automatic width min(GOMAXPROCS−1, 4) — at least one
+// worker, but never crowding out the engine's own loop.
+func parseWorkerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	w := runtime.GOMAXPROCS(0) - 1
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newParseAhead starts the pool with the given number of workers.
+func newParseAhead(workers int) *parseAhead {
+	pa := &parseAhead{
+		jobs: make(chan parseJob, parseAheadQueue),
+		done: make(map[string]parsedPage, parseAheadCap),
+	}
+	for i := 0; i < workers; i++ {
+		pa.wg.Add(1)
+		go pa.worker()
+	}
+	return pa
+}
+
+// observe is the Prefetcher completion hook: it enqueues uninterrupted 2xx
+// HTML responses for ahead-of-time parsing and drops everything else (and
+// anything that does not fit the queue — speculation is best-effort).
+func (pa *parseAhead) observe(url string, resp fetch.Response) {
+	if resp.Status < 200 || resp.Status >= 300 || resp.Interrupted ||
+		len(resp.Body) == 0 || !urlutil.IsHTML(resp.MIME) {
+		return
+	}
+	select {
+	case pa.jobs <- parseJob{url: url, body: resp.Body}:
+	default:
+	}
+}
+
+func (pa *parseAhead) worker() {
+	defer pa.wg.Done()
+	for job := range pa.jobs {
+		links := dom.ExtractLinks(job.body)
+		pa.mu.Lock()
+		if _, dup := pa.done[job.url]; !dup {
+			for len(pa.done) >= parseAheadCap && len(pa.order) > 0 {
+				delete(pa.done, pa.order[0])
+				pa.order = pa.order[1:]
+			}
+			pa.done[job.url] = parsedPage{
+				bodyLen: len(job.body),
+				body0:   &job.body[0],
+				links:   links,
+			}
+			pa.order = append(pa.order, job.url)
+		}
+		pa.mu.Unlock()
+	}
+}
+
+// take consumes the ahead-of-time extraction for the URL, if one exists for
+// exactly this body (same length, same backing array). A hit transfers
+// ownership of the cached links to the caller.
+func (pa *parseAhead) take(url string, body []byte) ([]dom.Link, bool) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	pp, ok := pa.done[url]
+	if !ok {
+		return nil, false
+	}
+	delete(pa.done, url)
+	// Consumed entries leave holes in the order queue; drop them once they
+	// outnumber the live entries plus the cache cap.
+	if len(pa.order) > 2*len(pa.done)+parseAheadCap {
+		w := 0
+		for _, u := range pa.order {
+			if _, live := pa.done[u]; live {
+				pa.order[w] = u
+				w++
+			}
+		}
+		pa.order = pa.order[:w]
+	}
+	if pp.bodyLen != len(body) || len(body) == 0 || pp.body0 != &body[0] {
+		return nil, false
+	}
+	pa.hits++
+	return pp.links, true
+}
+
+// hitCount reports how many extractions were served ahead of time
+// (wall-clock diagnostic only, like fetch.PrefetchStats).
+func (pa *parseAhead) hitCount() int {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	return pa.hits
+}
+
+// close stops the pool and blocks until every in-flight parse has finished,
+// so no worker outlives the crawl.
+func (pa *parseAhead) close() {
+	close(pa.jobs)
+	pa.wg.Wait()
+}

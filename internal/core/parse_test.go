@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sbcrawl/internal/fetch"
+)
+
+// stripDiagnostics zeroes the wall-clock-dependent fields so Results can be
+// compared for the determinism that matters.
+func stripDiagnostics(r *Result) *Result {
+	c := *r
+	c.Spec = nil
+	c.ParseHits = 0
+	return &c
+}
+
+// TestParseAheadEquivalence is the parallel parse stage's determinism gate:
+// a pipelined crawl must return the same Result at every pool size —
+// disabled, automatic, and fixed widths — as the fully sequential engine.
+func TestParseAheadEquivalence(t *testing.T) {
+	for _, strat := range []string{"bfs", "sb"} {
+		t.Run(strat, func(t *testing.T) {
+			newCrawler := func() Crawler {
+				if strat == "bfs" {
+					return NewBFS()
+				}
+				return NewSB(SBConfig{Seed: 5})
+			}
+			env, _ := newTestEnv(t, "cn", 0.01, 4)
+			env.MaxRequests = 60
+			ref, err := newCrawler().Run(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{-1, 0, 1, 3} {
+				env, _ := newTestEnv(t, "cn", 0.01, 4)
+				env.MaxRequests = 60
+				env.Prefetch = 8
+				env.ParseWorkers = workers
+				got, err := newCrawler().Run(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(stripDiagnostics(ref), stripDiagnostics(got)) {
+					t.Errorf("ParseWorkers=%d diverged from the sequential engine", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParseAheadHits pins that the stage actually serves extractions: under
+// real round-trip latency the speculative GETs (and their parses) complete
+// while the engine loop is blocked fetching, so demand-side extractNewLinks
+// finds parses resident.
+func TestParseAheadHits(t *testing.T) {
+	env, _ := newTestEnv(t, "cl", 0.01, 3)
+	env.Fetcher = &fetch.Latency{Backend: env.Fetcher, Delay: time.Millisecond}
+	env.MaxRequests = 60
+	env.Prefetch = 8
+	env.ParseWorkers = 2
+	res, err := NewBFS().Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseHits == 0 {
+		t.Error("latency-bound pipelined crawl served no extraction from the parse stage")
+	}
+	if res.Spec == nil || res.Spec.Hits == 0 {
+		t.Errorf("prefetch itself did not hit: %+v", res.Spec)
+	}
+}
+
+// TestParseAheadBodyIdentity pins the staleness guard: a cached parse is
+// only consumed for the exact body (same length and backing array) it was
+// computed from.
+func TestParseAheadBodyIdentity(t *testing.T) {
+	pa := newParseAhead(1)
+	defer pa.close()
+	body := []byte(`<html><body><a href="/x">x</a></body></html>`)
+	pa.observe("u", fetch.Response{URL: "u", Status: 200, MIME: "text/html", Body: body})
+	waitFor := func(cond func() bool) {
+		deadline := time.Now().Add(2 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("parse-ahead worker did not complete")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { pa.mu.Lock(); defer pa.mu.Unlock(); return len(pa.done) == 1 })
+	// A copy of the body has the right length but a different backing array:
+	// the guard must reject it (and drop the stale entry).
+	other := append([]byte(nil), body...)
+	if _, ok := pa.take("u", other); ok {
+		t.Error("take accepted a parse for a different body array")
+	}
+	// The entry was consumed by the failed take; a fresh parse for the real
+	// body must hit.
+	pa.observe("u", fetch.Response{URL: "u", Status: 200, MIME: "text/html", Body: body})
+	waitFor(func() bool { pa.mu.Lock(); defer pa.mu.Unlock(); return len(pa.done) == 1 })
+	links, ok := pa.take("u", body)
+	if !ok || len(links) != 1 || links[0].URL != "/x" {
+		t.Errorf("take(identical body) = %v, %v; want the cached single link", links, ok)
+	}
+}

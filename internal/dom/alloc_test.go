@@ -1,0 +1,75 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPage renders a page with nLinks anchors and `filler` copies of a
+// link-free content block, so byte size and link count vary independently.
+func buildPage(nLinks, filler int) []byte {
+	var sb strings.Builder
+	sb.WriteString("<html><body><div id=main class='content wide'>")
+	for i := 0; i < filler; i++ {
+		sb.WriteString("<p>Filler paragraph with <b>markup</b>, entities &amp; text, ")
+		sb.WriteString("and a <script>var x = 'raw text payload';</script> block.</p>")
+	}
+	sb.WriteString("<ul class=datasets>")
+	for i := 0; i < nLinks; i++ {
+		// A fixed URL/anchor set so steady-state runs hit the intern table.
+		sb.WriteString(`<li><a href="/data/file`)
+		sb.WriteByte(byte('a' + i%16))
+		sb.WriteString(`.csv">download</a></li>`)
+	}
+	sb.WriteString("</ul></div></body></html>")
+	return []byte(sb.String())
+}
+
+// allocsPerExtract measures steady-state allocations of the pooled
+// extraction path, reusing one link buffer the way the engine does.
+func allocsPerExtract(page []byte) float64 {
+	var buf []Link
+	buf = ExtractLinksAppend(buf[:0], page) // warm: pool, arenas, intern table
+	return testing.AllocsPerRun(100, func() {
+		buf = ExtractLinksAppend(buf[:0], page)
+	})
+}
+
+// TestExtractLinksAllocsBoundedByLinks is the hot path's allocation gate:
+// steady-state extraction allocates O(links) per page — the escaping Link
+// strings — never O(bytes). Doubling the page's link-free content must not
+// move the allocation count, and the per-link cost must stay small.
+func TestExtractLinksAllocsBoundedByLinks(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops objects at random under the race detector; allocation budgets only hold in normal builds")
+	}
+	const nLinks = 16
+	small := allocsPerExtract(buildPage(nLinks, 4))
+	big := allocsPerExtract(buildPage(nLinks, 64)) // ~12x the bytes, same links
+	if big > small+4 {
+		t.Errorf("allocations scale with page bytes: %v allocs at filler=4 vs %v at filler=64", small, big)
+	}
+	// Per-link budget: TagPath copy + a few escaping strings. The old parser
+	// spent ~190 allocs on this page shape; the pooled one must stay within
+	// 4 per link plus a small constant.
+	if limit := 4*nLinks + 8; big > float64(limit) {
+		t.Errorf("steady-state extraction allocates %v per page, want ≤ %d for %d links", big, limit, nLinks)
+	}
+}
+
+// TestParseAllocsIndependentOfRawText pins the raw-text satellite end to
+// end: script-heavy pages must not cost allocations proportional to script
+// bytes (the old per-element lowercase copy of the document tail).
+func TestParseAllocsIndependentOfRawText(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops objects at random under the race detector; allocation budgets only hold in normal builds")
+	}
+	link := `<a href="/x">t</a>`
+	light := []byte("<html><body>" + link + strings.Repeat("<script>var a = 1;</script>", 2) + "</body></html>")
+	heavy := []byte("<html><body>" + link + strings.Repeat("<script>var a = 'aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa';</script>", 64) + "</body></html>")
+	a1 := allocsPerExtract(light)
+	a2 := allocsPerExtract(heavy)
+	if a2 > a1+4 {
+		t.Errorf("raw-text bytes leak into allocations: %v (light) vs %v (heavy)", a1, a2)
+	}
+}

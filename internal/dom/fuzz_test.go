@@ -1,0 +1,137 @@
+package dom
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"sbcrawl/internal/sitegen"
+)
+
+// seedCorpus feeds the fuzzers handcrafted edge cases plus real rendered
+// pages from the site generator (the exact HTML dialect the crawler parses).
+func seedCorpus(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"<",
+		"</",
+		"<!",
+		"<!\r\r junk>",
+		"<!-- unterminated",
+		"<a href='/x'>t</a>",
+		`<A HREF="/X" ID=m CLASS="a b">&amp;&#x41;&#xD800;</A>`,
+		"<script>a = \"</scripted>\";</script>",
+		"<script>x()</scrip",
+		"<title>&lt;t&gt;</title><textarea>&amp;</textarea>",
+		"<ul><li>a<li>b</ul><p>x<p>y",
+		"<div#bogus><a href=/y>é</a>",
+		strings.Repeat("é", 200) + `<a href="/x">t</a>`,
+		"<a href='&#55296;'>surrogate</a>",
+	} {
+		f.Add([]byte(s))
+	}
+	p, ok := sitegen.ProfileByCode("cn")
+	if !ok {
+		f.Fatal("profile cn missing")
+	}
+	site := sitegen.Generate(sitegen.Config{Profile: p, Scale: 0.002, Seed: 1})
+	added := 0
+	for _, pg := range site.Pages() {
+		if pg.Kind != sitegen.KindHTML {
+			continue
+		}
+		f.Add(site.RenderPage(pg))
+		if added++; added >= 8 {
+			break
+		}
+	}
+}
+
+// FuzzTokenizer drives the zero-copy tokenizer over arbitrary bytes: it must
+// terminate, the compat Next wrapper must agree with the raw stream it
+// materializes, and valid UTF-8 in must never produce invalid UTF-8 out
+// (the numeric-reference surrogate class of bug).
+func FuzzTokenizer(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src []byte) {
+		validIn := utf8.Valid(src)
+		z := NewTokenizer(src)
+		var raw []Token
+		for steps := 0; ; steps++ {
+			if steps > 2*len(src)+64 {
+				t.Fatalf("tokenizer did not terminate on %d bytes", len(src))
+			}
+			tok, ok := z.NextRaw()
+			if !ok {
+				break
+			}
+			mat := Token{Type: tok.Type, Data: string(tok.Data)}
+			if tok.Type == StartTagToken || tok.Type == EndTagToken || tok.Type == SelfClosingTagToken {
+				mat.Data = string(toLowerAppend(nil, tok.Data))
+			}
+			for _, a := range tok.Attrs {
+				mat.Attrs = append(mat.Attrs, Attr{Name: string(toLowerAppend(nil, a.Name)), Value: string(a.Value)})
+				if validIn && !utf8.Valid(a.Value) {
+					t.Errorf("attr %q: valid UTF-8 in, invalid out: %q", a.Name, a.Value)
+				}
+			}
+			if validIn && !utf8.ValidString(mat.Data) {
+				t.Errorf("token data: valid UTF-8 in, invalid out: %q", mat.Data)
+			}
+			raw = append(raw, mat)
+		}
+		z2 := NewTokenizer(src)
+		var compat []Token
+		for {
+			tok, ok := z2.Next()
+			if !ok {
+				break
+			}
+			compat = append(compat, tok)
+		}
+		if !reflect.DeepEqual(raw, compat) {
+			t.Errorf("Next and NextRaw disagree:\nraw:    %+v\ncompat: %+v", raw, compat)
+		}
+	})
+}
+
+// FuzzExtractLinks drives the full pooled parse→extract path: it must
+// terminate, two runs over one input must agree exactly (no state leaking
+// through the parser pool), and every extracted link must satisfy the
+// documented invariants.
+func FuzzExtractLinks(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src []byte) {
+		validIn := utf8.Valid(src)
+		links := ExtractLinks(src)
+		again := ExtractLinks(src)
+		if !reflect.DeepEqual(links, again) {
+			t.Error("two extractions of one page differ: parser pool leaks state")
+		}
+		for _, l := range links {
+			if strings.TrimSpace(l.URL) == "" {
+				t.Errorf("empty link URL extracted: %+v", l)
+			}
+			if len(l.TagPath) == 0 {
+				t.Errorf("link %q has an empty tag path", l.URL)
+			}
+			for _, tok := range l.TagPath {
+				if strings.ContainsAny(tok, " \t\n/") {
+					t.Errorf("tag-path token %q contains separator bytes", tok)
+				}
+			}
+			if len(l.SurroundingText) > 256 {
+				t.Errorf("SurroundingText is %d bytes, cap is 256", len(l.SurroundingText))
+			}
+			if validIn {
+				if !utf8.ValidString(l.SurroundingText) {
+					t.Errorf("SurroundingText invalid UTF-8 from valid input: %q", l.SurroundingText)
+				}
+				if !utf8.ValidString(l.AnchorText) {
+					t.Errorf("AnchorText invalid UTF-8 from valid input: %q", l.AnchorText)
+				}
+			}
+		}
+	})
+}

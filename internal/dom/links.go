@@ -1,6 +1,10 @@
 package dom
 
-import "strings"
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
 
 // TagPath is the sequence of element tokens from the document root to a node,
 // the edge label λ of Section 2.2. Each token is the element name optionally
@@ -20,29 +24,69 @@ func (p TagPath) Key() string { return "/" + strings.Join(p, "/") }
 // PathToken renders one element as a tag-path token: name, then "#id" when an
 // id is present, then ".class" for each class in document order.
 func PathToken(n *Node) string {
-	var b strings.Builder
-	b.WriteString(n.Data)
-	if id := n.ID(); id != "" {
-		b.WriteByte('#')
-		b.WriteString(sanitizeToken(id))
-	}
-	for _, c := range n.Classes() {
-		b.WriteByte('.')
-		b.WriteString(sanitizeToken(c))
-	}
-	return b.String()
+	return string(appendPathToken(nil, n))
 }
 
-// sanitizeToken strips whitespace and the path separators from attribute
-// values so that tokens remain unambiguous.
-func sanitizeToken(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch r {
-		case ' ', '\t', '\n', '/', '.', '#':
-			return '-'
+// appendPathToken appends the element's tag-path token to dst.
+func appendPathToken(dst []byte, n *Node) []byte {
+	dst = append(dst, n.Data...)
+	if id, _ := n.Attr("id"); id != "" {
+		dst = append(dst, '#')
+		dst = appendSanitized(dst, id)
+	}
+	if class, _ := n.Attr("class"); class != "" {
+		for i := 0; i < len(class); {
+			start, end := nextField(class, i)
+			if start < 0 {
+				break
+			}
+			dst = append(dst, '.')
+			dst = appendSanitized(dst, class[start:end])
+			i = end
 		}
-		return r
-	}, s)
+	}
+	return dst
+}
+
+// nextField locates the next whitespace-delimited field of s at or after i,
+// with strings.Fields semantics. start is -1 when no field remains.
+func nextField(s string, i int) (start, end int) {
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if (r == utf8.RuneError && size == 1) || !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	if i >= len(s) {
+		return -1, -1
+	}
+	start = i
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r != utf8.RuneError || size != 1 {
+			if unicode.IsSpace(r) {
+				break
+			}
+		}
+		i += size
+	}
+	return start, i
+}
+
+// appendSanitized appends s with whitespace and the path separators replaced
+// by '-' so that tokens remain unambiguous. The replaced characters are all
+// ASCII, so the byte-level scan never splits a multi-byte rune.
+func appendSanitized(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '/', '.', '#':
+			dst = append(dst, '-')
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
 }
 
 // PathTo returns the tag path from the document root to n (inclusive),
@@ -85,46 +129,99 @@ type Link struct {
 var linkAttr = map[string]string{"a": "href", "area": "href", "iframe": "src"}
 
 // ExtractLinks parses the HTML page and returns every hyperlink with its tag
-// path and context. The order matches document order.
+// path and context. The order matches document order. The parse runs on a
+// pooled scanner: only the returned Links (plain strings throughout) survive
+// the call, so steady-state allocation is O(links), not O(bytes).
 func ExtractLinks(src []byte) []Link {
-	return ExtractLinksFromTree(Parse(src))
+	return ExtractLinksAppend(nil, src)
+}
+
+// ExtractLinksAppend is ExtractLinks appending into dst (which may be an
+// exhausted scratch slice), for callers that recycle their link buffers.
+func ExtractLinksAppend(dst []Link, src []byte) []Link {
+	p := parserPool.Get().(*parser)
+	root := p.parse(src)
+	dst = p.extract(root, dst)
+	p.recycle()
+	parserPool.Put(p)
+	return dst
 }
 
 // ExtractLinksFromTree is ExtractLinks over an already-parsed tree.
 func ExtractLinksFromTree(root *Node) []Link {
-	var links []Link
-	Walk(root, func(n *Node) bool {
-		if n.Type != ElementNode {
-			return true
-		}
-		attr, ok := linkAttr[n.Data]
-		if !ok {
-			return true
-		}
-		href, ok := n.Attr(attr)
-		if !ok || strings.TrimSpace(href) == "" {
-			return true
-		}
-		l := Link{
-			URL:     strings.TrimSpace(href),
-			TagPath: PathTo(n),
-			Tag:     n.Data,
-		}
-		if n.Data == "a" {
-			l.AnchorText = n.Text()
-		}
-		if n.Parent != nil {
-			l.SurroundingText = truncate(n.Parent.Text(), 256)
-		}
-		links = append(links, l)
-		return true
-	})
+	p := parserPool.Get().(*parser)
+	links := p.extract(root, nil)
+	p.recycle()
+	parserPool.Put(p)
 	return links
 }
 
+// extract walks the tree once, maintaining the root-to-node tag-path token
+// stack incrementally (no per-link Parent-chain rebuild) and memoizing the
+// last parent's collapsed text (links sharing a parent share the
+// computation).
+func (p *parser) extract(root *Node, dst []Link) []Link {
+	p.links = dst
+	p.lastParent = nil
+	p.lastParentText = ""
+	for _, c := range root.Children {
+		p.walkExtract(c)
+	}
+	links := p.links
+	p.links = nil
+	return links
+}
+
+func (p *parser) walkExtract(n *Node) {
+	if n.Type != ElementNode {
+		return
+	}
+	p.tokBuf = appendPathToken(p.tokBuf[:0], n)
+	p.pathStack = append(p.pathStack, p.intern(p.tokBuf))
+	if attr, ok := linkAttr[n.Data]; ok {
+		if href, ok := n.Attr(attr); ok && strings.TrimSpace(href) != "" {
+			tp := make(TagPath, len(p.pathStack))
+			copy(tp, p.pathStack)
+			l := Link{
+				URL:     strings.TrimSpace(href),
+				TagPath: tp,
+				Tag:     n.Data,
+			}
+			if n.Data == "a" {
+				l.AnchorText = p.textOf(n)
+			}
+			if n.Parent != nil {
+				if n.Parent != p.lastParent {
+					p.lastParent = n.Parent
+					p.lastParentText = p.textOf(n.Parent)
+				}
+				l.SurroundingText = truncate(p.lastParentText, 256)
+			}
+			p.links = append(p.links, l)
+		}
+	}
+	for _, c := range n.Children {
+		p.walkExtract(c)
+	}
+	p.pathStack = p.pathStack[:len(p.pathStack)-1]
+}
+
+// textOf is Node.Text over the parser's reusable scratch, interning short
+// results (anchor texts repeat heavily across a site).
+func (p *parser) textOf(n *Node) string {
+	var brk bool
+	p.textBuf = appendNodeText(p.textBuf[:0], n, &brk)
+	return p.intern(p.textBuf)
+}
+
+// truncate caps s at n bytes without splitting a multi-byte UTF-8 rune: the
+// cut backs off to the nearest rune boundary at or before n.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n]
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dom
+
+const raceEnabled = false

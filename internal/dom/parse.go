@@ -1,6 +1,11 @@
 package dom
 
-import "strings"
+import (
+	"strings"
+	"sync"
+	"unicode"
+	"unicode/utf8"
+)
 
 // NodeType discriminates DOM node kinds.
 type NodeType int
@@ -48,24 +53,56 @@ func (n *Node) Classes() []string {
 // Text returns the concatenated text content of the subtree rooted at n,
 // with runs of whitespace collapsed to single spaces.
 func (n *Node) Text() string {
-	var b strings.Builder
-	n.appendText(&b)
-	return collapseSpace(b.String())
+	var brk bool
+	b := appendNodeText(nil, n, &brk)
+	return string(b)
 }
 
-func (n *Node) appendText(b *strings.Builder) {
+// appendNodeText appends the whitespace-collapsed text of the subtree to dst
+// in a single pass. brk carries the pending-word-break state: text nodes are
+// word-separated from each other, and runs of Unicode whitespace collapse to
+// one ' ' (the exact output of joining strings.Fields with single spaces).
+func appendNodeText(dst []byte, n *Node, brk *bool) []byte {
 	if n.Type == TextNode {
-		b.WriteString(n.Data)
-		b.WriteByte(' ')
-		return
+		dst = appendCollapsed(dst, n.Data, brk)
+		*brk = true // adjacent text nodes never fuse into one word
+		return dst
 	}
 	for _, c := range n.Children {
-		c.appendText(b)
+		dst = appendNodeText(dst, c, brk)
 	}
+	return dst
 }
 
-func collapseSpace(s string) string {
-	return strings.Join(strings.Fields(s), " ")
+// appendCollapsed appends s to dst with whitespace runs collapsed to single
+// spaces and edges trimmed, continuing the word-break state in brk.
+func appendCollapsed(dst []byte, s string, brk *bool) []byte {
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			// Invalid byte: not whitespace, copied verbatim (strings.Fields
+			// preserves it the same way).
+			if *brk && len(dst) > 0 {
+				dst = append(dst, ' ')
+			}
+			*brk = false
+			dst = append(dst, s[i])
+			i++
+			continue
+		}
+		if unicode.IsSpace(r) {
+			*brk = true
+			i += size
+			continue
+		}
+		if *brk && len(dst) > 0 {
+			dst = append(dst, ' ')
+		}
+		*brk = false
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return dst
 }
 
 // voidElements never have children in HTML; a start tag is a complete element.
@@ -88,49 +125,253 @@ var impliedEnd = map[string]map[string]bool{
 	"dd":     {"dt": true, "dd": true},
 }
 
+// impliedClosers is the inverted form of impliedEnd, precomputed once: for
+// an opening tag name, the set of open element names it implicitly closes.
+var impliedClosers = func() map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for closes, openers := range impliedEnd {
+		for opener := range openers {
+			m := out[opener]
+			if m == nil {
+				m = make(map[string]bool)
+				out[opener] = m
+			}
+			m[closes] = true
+		}
+	}
+	return out
+}()
+
+// commonStrings interns the tag names, attribute names, and attribute values
+// a crawler sees on virtually every page, so materializing them never
+// allocates.
+var commonStrings = func() map[string]string {
+	names := []string{
+		"#document",
+		"html", "head", "body", "title", "meta", "link", "script", "style",
+		"div", "span", "p", "a", "ul", "ol", "li", "dl", "dt", "dd",
+		"table", "thead", "tbody", "tr", "td", "th", "nav", "header",
+		"footer", "section", "article", "aside", "main", "form", "input",
+		"button", "select", "option", "label", "textarea", "img", "br",
+		"hr", "em", "strong", "b", "i", "u", "small", "sup", "sub",
+		"h1", "h2", "h3", "h4", "h5", "h6", "iframe", "area", "map",
+		"figure", "figcaption", "blockquote", "pre", "code",
+		"href", "src", "id", "class", "name", "type", "value", "rel",
+		"alt", "content", "charset", "lang", "style", "width", "height",
+	}
+	m := make(map[string]string, len(names))
+	for _, s := range names {
+		m[s] = s
+	}
+	return m
+}()
+
+// nodeChunk and attrChunk size the parser's arena blocks. Blocks are stable
+// in memory (nodes are linked by pointer), so a full block is retired and a
+// fresh one started rather than growing in place.
+const (
+	nodeChunk     = 256
+	attrChunkSize = 256
+	// maxIntern bounds a parser's dynamic intern table; maxInternLen keeps
+	// big text blobs out of it.
+	maxIntern    = 8192
+	maxInternLen = 64
+)
+
+// parser is the reusable state of one Parse/ExtractLinks run: the tokenizer,
+// node and attribute arenas, a dynamic intern table, and the link-extraction
+// walk state. A parser is single-use at a time; ExtractLinks draws parsers
+// from an internal pool and recycles them (the arenas are reused, so trees
+// built by a pooled run must not escape — only materialized strings may).
+type parser struct {
+	z Tokenizer
+
+	chunks [][]Node // stable node arena blocks
+	ci     int      // current block
+	used   int      // used slots in current block
+
+	attrChunk []Attr
+	attrUsed  int
+
+	interned map[string]string
+	lower    []byte // lowercase scratch for names
+
+	stack []*Node // open-element stack
+
+	// Link-extraction walk state.
+	pathStack      []string
+	tokBuf         []byte
+	textBuf        []byte
+	links          []Link
+	lastParent     *Node
+	lastParentText string
+}
+
+func newParser() *parser {
+	return &parser{interned: make(map[string]string)}
+}
+
+var parserPool = sync.Pool{New: func() any { return newParser() }}
+
+// recycle resets the parser for reuse, keeping arenas and the intern table.
+func (p *parser) recycle() {
+	p.ci, p.used = 0, 0
+	p.attrUsed = 0
+	p.stack = p.stack[:0]
+	p.pathStack = p.pathStack[:0]
+	p.links = nil
+	p.lastParent = nil
+	p.lastParentText = ""
+	p.z.Reset(nil)
+}
+
+// newNode carves one node from the arena. Recycled slots keep their Children
+// backing array (capacity reuse); all other fields are cleared.
+func (p *parser) newNode() *Node {
+	if p.ci >= len(p.chunks) {
+		p.chunks = append(p.chunks, make([]Node, nodeChunk))
+	}
+	c := p.chunks[p.ci]
+	if p.used == len(c) {
+		p.ci++
+		p.used = 0
+		return p.newNode()
+	}
+	n := &c[p.used]
+	p.used++
+	n.Type = ElementNode
+	n.Data = ""
+	n.Attrs = nil
+	n.Parent = nil
+	n.Children = n.Children[:0]
+	return n
+}
+
+// allocAttrs carves an exactly-sized attribute slice from the arena.
+func (p *parser) allocAttrs(n int) []Attr {
+	if p.attrUsed+n > len(p.attrChunk) {
+		size := attrChunkSize
+		if n > size {
+			size = n
+		}
+		p.attrChunk = make([]Attr, size)
+		p.attrUsed = 0
+	}
+	s := p.attrChunk[p.attrUsed : p.attrUsed+n : p.attrUsed+n]
+	p.attrUsed += n
+	return s
+}
+
+// intern materializes b as a string, reusing a previously seen copy when
+// possible. The dynamic table is bounded in entry count and entry length;
+// overflowing entries still materialize, they just aren't remembered.
+func (p *parser) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := commonStrings[string(b)]; ok {
+		return s
+	}
+	if s, ok := p.interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(p.interned) < maxIntern && len(s) <= maxInternLen {
+		p.interned[s] = s
+	}
+	return s
+}
+
+// internLower interns the ASCII-lowercased form of b, lowercasing lazily:
+// already-lowercase names (the overwhelmingly common case) intern as-is.
+func (p *parser) internLower(b []byte) string {
+	if allLowerASCII(b) {
+		return p.intern(b)
+	}
+	p.lower = toLowerAppend(p.lower[:0], b)
+	return p.intern(p.lower)
+}
+
+// foldEqualStr reports whether name equals the (lowercase) element name s
+// under ASCII case folding.
+func foldEqualStr(name []byte, s string) bool {
+	if len(name) != len(s) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Parse builds a DOM tree from HTML bytes. It never fails: malformed input
 // produces a best-effort tree. The returned root is a synthetic element named
-// "#document" whose children are the top-level nodes.
+// "#document" whose children are the top-level nodes. The tree owns its
+// memory (it is not drawn from the shared pool) and may be retained freely.
 func Parse(src []byte) *Node {
-	root := &Node{Type: ElementNode, Data: "#document"}
-	stack := []*Node{root}
-	z := NewTokenizer(src)
+	return newParser().parse(src)
+}
+
+func (p *parser) parse(src []byte) *Node {
+	p.z.Reset(src)
+	root := p.newNode()
+	root.Data = "#document"
+	p.stack = append(p.stack[:0], root)
 	for {
-		tok, ok := z.Next()
+		tok, ok := p.z.NextRaw()
 		if !ok {
 			break
 		}
 		switch tok.Type {
 		case TextToken:
-			if strings.TrimSpace(tok.Data) == "" {
+			if len(trimSpaceBytes(tok.Data)) == 0 {
 				continue
 			}
-			parent := stack[len(stack)-1]
-			child := &Node{Type: TextNode, Data: tok.Data, Parent: parent}
+			parent := p.stack[len(p.stack)-1]
+			child := p.newNode()
+			child.Type = TextNode
+			child.Data = p.intern(tok.Data)
+			child.Parent = parent
 			parent.Children = append(parent.Children, child)
 		case StartTagToken, SelfClosingTagToken:
+			name := p.internLower(tok.Data)
 			// Apply implied-end recovery: <li> closes an open <li>, etc.
-			if closers, ok := impliedEndClosers(tok.Data); ok {
-				for len(stack) > 1 {
-					top := stack[len(stack)-1]
+			if closers := impliedClosers[name]; closers != nil {
+				for len(p.stack) > 1 {
+					top := p.stack[len(p.stack)-1]
 					if closers[top.Data] {
-						stack = stack[:len(stack)-1]
+						p.stack = p.stack[:len(p.stack)-1]
 						continue
 					}
 					break
 				}
 			}
-			parent := stack[len(stack)-1]
-			el := &Node{Type: ElementNode, Data: tok.Data, Attrs: tok.Attrs, Parent: parent}
+			parent := p.stack[len(p.stack)-1]
+			el := p.newNode()
+			el.Data = name
+			el.Parent = parent
+			if len(tok.Attrs) > 0 {
+				attrs := p.allocAttrs(len(tok.Attrs))
+				for i, a := range tok.Attrs {
+					attrs[i] = Attr{Name: p.internLower(a.Name), Value: p.intern(a.Value)}
+				}
+				el.Attrs = attrs
+			}
 			parent.Children = append(parent.Children, el)
-			if tok.Type == StartTagToken && !voidElements[tok.Data] {
-				stack = append(stack, el)
+			if tok.Type == StartTagToken && !voidElements[name] {
+				p.stack = append(p.stack, el)
 			}
 		case EndTagToken:
 			// Pop to the matching open element, if any; ignore strays.
-			for i := len(stack) - 1; i >= 1; i-- {
-				if stack[i].Data == tok.Data {
-					stack = stack[:i]
+			for i := len(p.stack) - 1; i >= 1; i-- {
+				if foldEqualStr(tok.Data, p.stack[i].Data) {
+					p.stack = p.stack[:i]
 					break
 				}
 			}
@@ -139,28 +380,6 @@ func Parse(src []byte) *Node {
 		}
 	}
 	return root
-}
-
-// impliedEndClosers returns, for an opening tag name, the set of open element
-// names it implicitly closes.
-func impliedEndClosers(name string) (map[string]bool, bool) {
-	for closes, openers := range impliedEnd {
-		if openers[name] {
-			_ = closes
-			return invertImplied(name), true
-		}
-	}
-	return nil, false
-}
-
-func invertImplied(opener string) map[string]bool {
-	out := make(map[string]bool)
-	for closes, openers := range impliedEnd {
-		if openers[opener] {
-			out[closes] = true
-		}
-	}
-	return out
 }
 
 // Walk visits every node of the tree in document order, calling fn; when fn

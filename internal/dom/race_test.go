@@ -1,0 +1,8 @@
+//go:build race
+
+package dom
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately drops objects at random (to surface reuse
+// races) and steady-state allocation budgets do not hold.
+const raceEnabled = true

@@ -4,9 +4,25 @@
 // the paper), anchor text, and surrounding text. It is deliberately lenient —
 // malformed markup degrades gracefully rather than failing, as a crawler must
 // never die on a bad page.
+//
+// # Hot-path contract (pooled scanners, byte views)
+//
+// The tokenizer's native form is the zero-copy RawToken: its Data and
+// attribute Name/Value fields are views into the source buffer (or into the
+// Tokenizer's internal scratch, for entity-decoded content) and its Attrs
+// slice is backed by storage the Tokenizer reuses. Every view is valid only
+// until the next call to NextRaw/Next on the same Tokenizer; callers that
+// retain token content across calls must copy it. Parse and ExtractLinks
+// honor this contract internally — the strings they hand out (Node fields,
+// Link fields) are materialized, interned copies that are always safe to
+// retain. ExtractLinks additionally draws its parser state from an internal
+// pool, so it allocates O(links), not O(bytes), in the steady state.
 package dom
 
-import "strings"
+import (
+	"bytes"
+	"strings"
+)
 
 // TokenType discriminates the kinds of tokens produced by the Tokenizer.
 type TokenType int
@@ -27,7 +43,10 @@ type Attr struct {
 	Value string
 }
 
-// Token is one lexical unit of an HTML document.
+// Token is one lexical unit of an HTML document in materialized (string)
+// form, produced by Tokenizer.Next. Tag and attribute names are lowercased.
+// Prefer NextRaw on hot paths: Next copies every field out of the underlying
+// RawToken.
 type Token struct {
 	Type  TokenType
 	Data  string // tag name (lowercased) or text/comment content
@@ -44,20 +63,63 @@ func (t *Token) Attr(name string) (string, bool) {
 	return "", false
 }
 
-// rawTextElements contains elements whose content is raw text up to the
-// matching end tag (no nested markup is recognized inside them).
-var rawTextElements = map[string]bool{
-	"script": true, "style": true, "textarea": true, "title": true,
+// RawAttr is a single attribute as byte views. The Name preserves source
+// case (compare with EqualFold-style helpers or lowercase on materialize);
+// Value is entity-decoded only when the raw value contains '&'.
+type RawAttr struct {
+	Name  []byte
+	Value []byte
 }
 
-// Tokenizer scans an HTML byte stream into Tokens. The zero value is not
-// usable; construct with NewTokenizer.
+// RawToken is one lexical unit as byte views into the tokenizer's source (or
+// scratch, for decoded content). All views — Data, Attrs, and the Attrs
+// backing array — are invalidated by the next NextRaw/Next call; copy before
+// retaining. For Start/End/SelfClosing tags Data is the name with source
+// case preserved.
+type RawToken struct {
+	Type  TokenType
+	Data  []byte
+	Attrs []RawAttr
+}
+
+// rawTextNames lists the elements whose content is raw text up to the
+// matching end tag (no nested markup is recognized inside them), in
+// canonical lowercase form so a pending raw-text element can be tracked
+// without allocating.
+var rawTextNames = [][]byte{
+	[]byte("script"), []byte("style"), []byte("textarea"), []byte("title"),
+}
+
+// rawTextTag returns the canonical lowercase name when the (possibly
+// mixed-case) tag name is a raw-text element, else nil.
+func rawTextTag(name []byte) []byte {
+	for _, c := range rawTextNames {
+		if foldEqual(name, c) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Tokenizer scans an HTML byte stream into tokens. The zero value is not
+// usable; construct with NewTokenizer (or Reset a pooled one). A Tokenizer
+// may be reused across documents via Reset; its internal buffers then stop
+// allocating in the steady state.
 type Tokenizer struct {
 	src []byte
 	pos int
-	// pending raw-text element name: after emitting <script>, the tokenizer
-	// must treat everything up to </script> as text.
-	rawTag string
+	// pending raw-text element name in canonical lowercase (one of
+	// rawTextNames): after emitting <script>, the tokenizer must treat
+	// everything up to </script> as text.
+	rawTag []byte
+	// attrs is the reusable backing store for RawToken.Attrs.
+	attrs []RawAttr
+	// scratch backs entity-decoded token data (views handed out in
+	// RawToken.Data remain valid until the next NextRaw call).
+	scratch []byte
+	// vscratch backs entity-decoded attribute values; separate from scratch
+	// so a token's text decode cannot clobber its attribute decodes.
+	vscratch []byte
 }
 
 // NewTokenizer returns a Tokenizer over src. The slice is not copied; the
@@ -66,12 +128,49 @@ func NewTokenizer(src []byte) *Tokenizer {
 	return &Tokenizer{src: src}
 }
 
-// Next returns the next token and true, or a zero Token and false at EOF.
+// Reset re-aims the Tokenizer at a new document, keeping its internal
+// buffers for reuse.
+func (z *Tokenizer) Reset(src []byte) {
+	z.src = src
+	z.pos = 0
+	z.rawTag = nil
+}
+
+// Next returns the next token in materialized string form and true, or a
+// zero Token and false at EOF. It is the compatibility wrapper over NextRaw;
+// every call copies the token's content into fresh strings.
 func (z *Tokenizer) Next() (Token, bool) {
-	if z.pos >= len(z.src) {
+	raw, ok := z.NextRaw()
+	if !ok {
 		return Token{}, false
 	}
-	if z.rawTag != "" {
+	tok := Token{Type: raw.Type}
+	switch raw.Type {
+	case StartTagToken, SelfClosingTagToken, EndTagToken:
+		tok.Data = string(toLowerAppend(nil, raw.Data))
+	default:
+		tok.Data = string(raw.Data)
+	}
+	if len(raw.Attrs) > 0 {
+		tok.Attrs = make([]Attr, len(raw.Attrs))
+		for i, a := range raw.Attrs {
+			tok.Attrs[i] = Attr{
+				Name:  string(toLowerAppend(nil, a.Name)),
+				Value: string(a.Value),
+			}
+		}
+	}
+	return tok, true
+}
+
+// NextRaw returns the next token as byte views and true, or a zero RawToken
+// and false at EOF. The views are invalidated by the following NextRaw/Next
+// call.
+func (z *Tokenizer) NextRaw() (RawToken, bool) {
+	if z.pos >= len(z.src) {
+		return RawToken{}, false
+	}
+	if z.rawTag != nil {
 		return z.nextRawText(), true
 	}
 	if z.src[z.pos] == '<' {
@@ -82,53 +181,95 @@ func (z *Tokenizer) Next() (Token, bool) {
 		start := z.pos
 		z.pos++
 		z.consumeTextUntilLT()
-		return Token{Type: TextToken, Data: string(z.src[start:z.pos])}, true
+		return RawToken{Type: TextToken, Data: z.src[start:z.pos]}, true
 	}
 	start := z.pos
 	z.consumeTextUntilLT()
-	return Token{Type: TextToken, Data: decodeEntities(string(z.src[start:z.pos]))}, true
+	return RawToken{Type: TextToken, Data: z.decodeText(z.src[start:z.pos])}, true
 }
 
 func (z *Tokenizer) consumeTextUntilLT() {
-	for z.pos < len(z.src) && z.src[z.pos] != '<' {
-		z.pos++
+	if i := bytes.IndexByte(z.src[z.pos:], '<'); i >= 0 {
+		z.pos += i
+	} else {
+		z.pos = len(z.src)
 	}
 }
 
-// rcdataElements are raw-text elements whose content still decodes character
-// references (per the HTML RCDATA rules); script and style do not.
-var rcdataElements = map[string]bool{"title": true, "textarea": true}
+// decodeText resolves character references in b, returning b itself when it
+// contains none (the common case) and a view into the tokenizer's scratch
+// otherwise.
+func (z *Tokenizer) decodeText(b []byte) []byte {
+	if bytes.IndexByte(b, '&') < 0 {
+		return b
+	}
+	z.scratch = appendDecodedEntities(z.scratch[:0], b)
+	return z.scratch
+}
 
 // nextRawText consumes text up to the closing tag of the pending raw-text
-// element and emits it as a single TextToken; the subsequent Next call then
-// sees the end tag normally.
-func (z *Tokenizer) nextRawText() Token {
-	closer := "</" + z.rawTag
-	lower := strings.ToLower(string(z.src[z.pos:]))
-	idx := strings.Index(lower, closer)
-	data := ""
-	if idx < 0 {
-		// Unterminated raw text: consume to EOF.
-		data = string(z.src[z.pos:])
-		z.pos = len(z.src)
-	} else {
-		data = string(z.src[z.pos : z.pos+idx])
-		z.pos += idx
+// element and emits it as a single TextToken; the subsequent NextRaw call
+// then sees the end tag normally.
+//
+// The scan is a single in-place, case-insensitive pass (no lowercased copy
+// of the remaining document), and the closing tag name must be followed by
+// whitespace, '/', '>', or EOF — "</scripted>" does not terminate a
+// <script> block.
+func (z *Tokenizer) nextRawText() RawToken {
+	src := z.src
+	tag := z.rawTag
+	i := z.pos
+	end := len(src) // exclusive end of the raw text; len(src) when unterminated
+	for i < len(src) {
+		j := bytes.IndexByte(src[i:], '<')
+		if j < 0 {
+			break
+		}
+		i += j
+		if hasCloserAt(src, i, tag) {
+			end = i
+			break
+		}
+		i++
 	}
-	if rcdataElements[z.rawTag] {
-		data = decodeEntities(data)
+	data := src[z.pos:end]
+	z.pos = end
+	rcdata := bytes.Equal(tag, []byte("title")) || bytes.Equal(tag, []byte("textarea"))
+	z.rawTag = nil
+	if rcdata {
+		data = z.decodeText(data)
 	}
-	z.rawTag = ""
-	return Token{Type: TextToken, Data: data}
+	return RawToken{Type: TextToken, Data: data}
+}
+
+// hasCloserAt reports whether src[i:] begins a closing tag for the raw-text
+// element name tag (canonical lowercase): "</", the name case-insensitively,
+// then a name boundary (whitespace, '/', '>', or EOF).
+func hasCloserAt(src []byte, i int, tag []byte) bool {
+	if i+2+len(tag) > len(src) {
+		return false
+	}
+	if src[i] != '<' || src[i+1] != '/' {
+		return false
+	}
+	if !foldEqual(src[i+2:i+2+len(tag)], tag) {
+		return false
+	}
+	j := i + 2 + len(tag)
+	if j >= len(src) {
+		return true
+	}
+	b := src[j]
+	return isSpace(b) || b == '/' || b == '>'
 }
 
 // nextTag attempts to parse a tag construct at z.pos (which points at '<').
 // It reports false when the '<' does not open any recognizable construct.
-func (z *Tokenizer) nextTag() (Token, bool) {
+func (z *Tokenizer) nextTag() (RawToken, bool) {
 	src := z.src
 	i := z.pos + 1
 	if i >= len(src) {
-		return Token{}, false
+		return RawToken{}, false
 	}
 	switch {
 	case src[i] == '!':
@@ -141,26 +282,26 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 		} else {
 			z.pos = j + 1
 		}
-		return Token{Type: CommentToken, Data: ""}, true
+		return RawToken{Type: CommentToken}, true
 	case src[i] == '/':
 		return z.nextEndTag()
 	case isAlpha(src[i]):
 		return z.nextStartTag(), true
 	}
-	return Token{}, false
+	return RawToken{}, false
 }
 
-func (z *Tokenizer) nextBangTag() Token {
+func (z *Tokenizer) nextBangTag() RawToken {
 	src := z.src
 	i := z.pos
 	if hasPrefixAt(src, i, "<!--") {
-		end := strings.Index(string(src[i+4:]), "-->")
+		end := bytes.Index(src[i+4:], []byte("-->"))
 		if end < 0 {
-			tok := Token{Type: CommentToken, Data: string(src[i+4:])}
+			tok := RawToken{Type: CommentToken, Data: src[i+4:]}
 			z.pos = len(src)
 			return tok
 		}
-		tok := Token{Type: CommentToken, Data: string(src[i+4 : i+4+end])}
+		tok := RawToken{Type: CommentToken, Data: src[i+4 : i+4+end]}
 		z.pos = i + 4 + end + 3
 		return tok
 	}
@@ -168,13 +309,13 @@ func (z *Tokenizer) nextBangTag() Token {
 	j := indexByteFrom(src, '>', i)
 	if j < 0 {
 		z.pos = len(src)
-		return Token{Type: DoctypeToken}
+		return RawToken{Type: DoctypeToken}
 	}
 	z.pos = j + 1
-	return Token{Type: DoctypeToken, Data: strings.TrimSpace(string(src[i+2 : j]))}
+	return RawToken{Type: DoctypeToken, Data: trimSpaceBytes(src[i+2 : j])}
 }
 
-func (z *Tokenizer) nextEndTag() (Token, bool) {
+func (z *Tokenizer) nextEndTag() (RawToken, bool) {
 	src := z.src
 	i := z.pos + 2
 	start := i
@@ -182,27 +323,29 @@ func (z *Tokenizer) nextEndTag() (Token, bool) {
 		i++
 	}
 	if i == start {
-		return Token{}, false
+		return RawToken{}, false
 	}
-	name := strings.ToLower(string(src[start:i]))
+	name := src[start:i]
 	j := indexByteFrom(src, '>', i)
 	if j < 0 {
 		z.pos = len(src)
 	} else {
 		z.pos = j + 1
 	}
-	return Token{Type: EndTagToken, Data: name}, true
+	return RawToken{Type: EndTagToken, Data: name}, true
 }
 
-func (z *Tokenizer) nextStartTag() Token {
+func (z *Tokenizer) nextStartTag() RawToken {
 	src := z.src
 	i := z.pos + 1
 	start := i
 	for i < len(src) && isNameByte(src[i]) {
 		i++
 	}
-	name := strings.ToLower(string(src[start:i]))
-	tok := Token{Type: StartTagToken, Data: name}
+	name := src[start:i]
+	tok := RawToken{Type: StartTagToken, Data: name}
+	z.attrs = z.attrs[:0]
+	z.vscratch = z.vscratch[:0]
 	// Attributes.
 	for {
 		for i < len(src) && isSpace(src[i]) {
@@ -234,7 +377,7 @@ func (z *Tokenizer) nextStartTag() Token {
 			i++ // stray byte; skip it
 			continue
 		}
-		attr := Attr{Name: strings.ToLower(string(src[aStart:i]))}
+		attr := RawAttr{Name: src[aStart:i]}
 		for i < len(src) && isSpace(src[i]) {
 			i++
 		}
@@ -243,32 +386,48 @@ func (z *Tokenizer) nextStartTag() Token {
 			for i < len(src) && isSpace(src[i]) {
 				i++
 			}
+			var vStart, vEnd int
 			if i < len(src) && (src[i] == '"' || src[i] == '\'') {
 				quote := src[i]
 				i++
-				vStart := i
+				vStart = i
 				for i < len(src) && src[i] != quote {
 					i++
 				}
-				attr.Value = decodeEntities(string(src[vStart:i]))
+				vEnd = i
 				if i < len(src) {
 					i++ // closing quote
 				}
 			} else {
-				vStart := i
+				vStart = i
 				for i < len(src) && !isSpace(src[i]) && src[i] != '>' {
 					i++
 				}
-				attr.Value = decodeEntities(string(src[vStart:i]))
+				vEnd = i
 			}
+			attr.Value = z.decodeValue(src[vStart:vEnd])
 		}
-		tok.Attrs = append(tok.Attrs, attr)
+		z.attrs = append(z.attrs, attr)
 	}
 	z.pos = i
-	if tok.Type == StartTagToken && rawTextElements[name] {
-		z.rawTag = name
+	tok.Attrs = z.attrs
+	if tok.Type == StartTagToken {
+		z.rawTag = rawTextTag(name)
 	}
 	return tok
+}
+
+// decodeValue resolves character references in an attribute value, returning
+// the view itself when it contains none and a view into the value scratch
+// otherwise. Values decode into their own scratch (vscratch) so several
+// decoded attributes of one tag coexist.
+func (z *Tokenizer) decodeValue(b []byte) []byte {
+	if bytes.IndexByte(b, '&') < 0 {
+		return b
+	}
+	off := len(z.vscratch)
+	z.vscratch = appendDecodedEntities(z.vscratch, b)
+	return z.vscratch[off:]
 }
 
 func isAlpha(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' }
@@ -281,6 +440,49 @@ func isSpace(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
 }
 
+// foldEqual reports whether a equals b under ASCII case folding, where b is
+// already lowercase (letters fold; non-letters must match exactly).
+func foldEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		c := a[i]
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		if c != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// toLowerAppend appends the ASCII-lowercased form of b to dst.
+func toLowerAppend(dst, b []byte) []byte {
+	for _, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// allLowerASCII reports whether b contains no ASCII uppercase letter, i.e.
+// lowercasing it would be the identity.
+func allLowerASCII(b []byte) bool {
+	for _, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// hasPrefixAt reports whether src[i:] begins with prefix under ASCII case
+// folding. Only letters fold: a non-letter byte must match exactly, so e.g.
+// '\r' (0x0D) never matches '-' (0x2D) and "<!\r\r" is not a comment opener.
 func hasPrefixAt(src []byte, i int, prefix string) bool {
 	if i+len(prefix) > len(src) {
 		return false
@@ -288,27 +490,39 @@ func hasPrefixAt(src []byte, i int, prefix string) bool {
 	for j := 0; j < len(prefix); j++ {
 		b := src[i+j]
 		p := prefix[j]
-		if b != p && b|0x20 != p|0x20 {
-			return false
+		if b == p {
+			continue
 		}
+		if isAlpha(b) && isAlpha(p) && b|0x20 == p|0x20 {
+			continue
+		}
+		return false
 	}
 	return true
 }
 
 func indexByteFrom(src []byte, c byte, from int) int {
-	for i := from; i < len(src); i++ {
-		if src[i] == c {
-			return i
-		}
+	if i := bytes.IndexByte(src[from:], c); i >= 0 {
+		return from + i
 	}
 	return -1
+}
+
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
 }
 
 // entityTable covers the named character references a crawler actually meets;
 // anything unrecognized is left verbatim (lenient by design).
 var entityTable = map[string]string{
 	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
-	"nbsp": " ", "copy": "©", "reg": "®", "mdash": "—",
+	"nbsp": " ", "copy": "©", "reg": "®", "mdash": "—",
 	"ndash": "–", "hellip": "…", "laquo": "«", "raquo": "»",
 	"eacute": "é", "egrave": "è", "agrave": "à", "ccedil": "ç",
 }
@@ -318,44 +532,54 @@ func decodeEntities(s string) string {
 	if !strings.ContainsRune(s, '&') {
 		return s
 	}
-	var b strings.Builder
-	b.Grow(len(s))
-	for i := 0; i < len(s); {
-		c := s[i]
+	return string(appendDecodedEntities(nil, []byte(s)))
+}
+
+// appendDecodedEntities appends b to dst with named and numeric character
+// references resolved, and returns the extended buffer.
+func appendDecodedEntities(dst, b []byte) []byte {
+	for i := 0; i < len(b); {
+		c := b[i]
 		if c != '&' {
-			b.WriteByte(c)
+			dst = append(dst, c)
 			i++
 			continue
 		}
-		semi := strings.IndexByte(s[i:], ';')
+		semi := bytes.IndexByte(b[i:], ';')
 		if semi < 0 || semi > 12 {
-			b.WriteByte(c)
+			dst = append(dst, c)
 			i++
 			continue
 		}
-		name := s[i+1 : i+semi]
-		if strings.HasPrefix(name, "#") {
+		name := b[i+1 : i+semi]
+		if len(name) > 0 && name[0] == '#' {
 			if r, ok := parseNumericRef(name[1:]); ok {
-				b.WriteRune(r)
+				dst = appendRune(dst, r)
 				i += semi + 1
 				continue
 			}
-		} else if rep, ok := entityTable[name]; ok {
-			b.WriteString(rep)
+		} else if rep, ok := entityTable[string(name)]; ok {
+			dst = append(dst, rep...)
 			i += semi + 1
 			continue
 		}
-		b.WriteByte(c)
+		dst = append(dst, c)
 		i++
 	}
-	return b.String()
+	return dst
 }
 
-func parseNumericRef(digits string) (rune, bool) {
-	if digits == "" {
+// appendRune appends the UTF-8 encoding of r to dst (what a
+// strings.Builder.WriteRune would have produced).
+func appendRune(dst []byte, r rune) []byte {
+	return append(dst, string(r)...)
+}
+
+func parseNumericRef(digits []byte) (rune, bool) {
+	if len(digits) == 0 {
 		return 0, false
 	}
-	base := 10
+	base := int64(10)
 	if digits[0] == 'x' || digits[0] == 'X' {
 		base = 16
 		digits = digits[1:]
@@ -374,10 +598,15 @@ func parseNumericRef(digits string) (rune, bool) {
 		default:
 			return 0, false
 		}
-		n = n*int64(base) + v
+		n = n*base + v
 		if n > 0x10FFFF {
 			return 0, false
 		}
+	}
+	if n >= 0xD800 && n <= 0xDFFF {
+		// Surrogate code points are not scalar values; a reference to one is
+		// left verbatim rather than decoded into invalid UTF-8.
+		return 0, false
 	}
 	return rune(n), true
 }

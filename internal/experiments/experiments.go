@@ -49,6 +49,10 @@ type Config struct {
 	// crawl loop — so it composes with Workers: sites in parallel,
 	// requests pipelined within each site.
 	Prefetch int
+	// ParseWorkers sizes the pipelined crawls' parallel parse stage
+	// (0 = auto when Prefetch is on, negative = off); see
+	// core.Env.ParseWorkers. Reports are identical whatever the value.
+	ParseWorkers int
 	// Out receives the report (default os.Stdout).
 	Out io.Writer
 	// CSVDir, when set, receives figure series as CSV files.
@@ -200,9 +204,10 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 		replay.SetBackend(store.Prefixed(cfg.st, ns))
 	}
 	env := &core.Env{
-		Root:     site.Root(),
-		Fetcher:  replay,
-		Prefetch: cfg.Prefetch,
+		Root:         site.Root(),
+		Fetcher:      replay,
+		Prefetch:     cfg.Prefetch,
+		ParseWorkers: cfg.ParseWorkers,
 		OracleClass: func(u string) int {
 			pg, ok := site.Lookup(u)
 			if !ok {

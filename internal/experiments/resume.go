@@ -70,10 +70,11 @@ func resumeEnv(cfg Config, site *sitegen.Site, backend store.Backend, budget int
 		replay.SetBackend(backend)
 	}
 	return &core.Env{
-		Root:        site.Root(),
-		Fetcher:     replay,
-		MaxRequests: budget,
-		Prefetch:    cfg.Prefetch,
+		Root:         site.Root(),
+		Fetcher:      replay,
+		MaxRequests:  budget,
+		Prefetch:     cfg.Prefetch,
+		ParseWorkers: cfg.ParseWorkers,
 	}, replay
 }
 

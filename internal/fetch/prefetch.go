@@ -52,6 +52,10 @@ type Prefetcher struct {
 	closed  bool
 	wg      sync.WaitGroup
 	stats   PrefetchStats
+
+	// onComplete, when set, observes every successfully completed
+	// speculative GET (see SetOnComplete).
+	onComplete func(url string, resp Response)
 }
 
 // speculative is one in-flight or completed speculative fetch.
@@ -139,6 +143,20 @@ func NewPrefetcher(backend Fetcher, window int) *Prefetcher {
 func (p *Prefetcher) SetShared(s SharedStore) {
 	p.mu.Lock()
 	p.shared = s
+	p.mu.Unlock()
+}
+
+// SetOnComplete installs an observer for successfully completed speculative
+// GETs (HEAD probes and failed fetches are not reported). The hook runs on
+// the speculative fetch's own goroutine, after the response is resident —
+// consumers use it to start downstream speculative work (e.g. parse-ahead)
+// while the engine is still busy elsewhere. The hook must be safe for
+// concurrent calls and must treat the response as read-only; it observes
+// timing, never crawl state, so it cannot affect what a crawl returns. Set
+// it before the first Hint.
+func (p *Prefetcher) SetOnComplete(fn func(url string, resp Response)) {
+	p.mu.Lock()
+	p.onComplete = fn
 	p.mu.Unlock()
 }
 
@@ -279,9 +297,13 @@ func (p *Prefetcher) fetch(u string, head bool, s *speculative) {
 	p.mu.Lock()
 	p.pending--
 	shared := p.shared
+	onComplete := p.onComplete
 	p.mu.Unlock()
 	if shared != nil && !head && s.err == nil {
 		shared.Publish(u, s.resp)
+	}
+	if onComplete != nil && !head && s.err == nil {
+		onComplete(u, s.resp)
 	}
 }
 

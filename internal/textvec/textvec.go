@@ -2,6 +2,19 @@
 // the paper: dynamic n-gram vocabularies over tag-path tokens, bag-of-words
 // vectors, the fixed-dimension hash projection of Figure 3, and character
 // bigram features for URLs (Sec. 3.3).
+//
+// # Hot-path contract (reusable hasher, byte views)
+//
+// TagPathVectorizer.Vectorize is the per-link hot path. It builds each
+// n-gram into an internal reusable byte buffer and resolves it against the
+// vocabulary by byte view — a gram string is materialized only the first
+// time it is ever seen — and the projection's per-bucket collision counts
+// are maintained incrementally as the vocabulary grows instead of being
+// recomputed over the whole vocabulary per call. The scratch buffers are
+// owned by the vectorizer (one call at a time per vectorizer); the returned
+// vector is freshly allocated and safe to retain. The results are
+// bit-identical to the compositional NGrams → BoW → Project pipeline, which
+// remains available for tests and offline tooling.
 package textvec
 
 import (
@@ -14,6 +27,9 @@ const (
 	BOS = "[BOS]"
 	EOS = "[EOS]"
 )
+
+// gramSep separates the tokens of one n-gram.
+const gramSep = '\x1f'
 
 // NGrams returns the order-preserving n-grams of the token sequence, framed
 // by BOS/EOS. For n=1 it returns the tokens themselves (a set-of-tags view);
@@ -39,11 +55,17 @@ func NGrams(tokens []string, n int) []string {
 }
 
 func join(parts []string) string {
-	s := parts[0]
-	for _, p := range parts[1:] {
-		s += "\x1f" + p
+	size := len(parts) - 1
+	for _, p := range parts {
+		size += len(p)
 	}
-	return s
+	b := make([]byte, 0, size)
+	b = append(b, parts[0]...)
+	for _, p := range parts[1:] {
+		b = append(b, gramSep)
+		b = append(b, p...)
+	}
+	return string(b)
 }
 
 // Vocab is a dynamically growing vocabulary assigning stable integer IDs to
@@ -93,7 +115,7 @@ func (v *Vocab) BoW(grams []string) []float64 {
 // [0, D) with D = 2^m, and colliding positions are resolved by averaging.
 type Projector struct {
 	M  uint   // D = 2^M output dimension exponent
-	W  uint   // modulus exponent; must satisfy W > M
+	W  uint   // modulus exponent; must satisfy M < W < 64
 	Pi uint64 // large prime multiplier Π
 }
 
@@ -102,11 +124,15 @@ type Projector struct {
 // walk-through is reproducible bit-for-bit.
 const DefaultPi = 766245317
 
-// NewProjector builds a Projector with D = 2^m and modulus 2^w. It panics if
-// w <= m, which the construction forbids.
+// NewProjector builds a Projector with D = 2^m and modulus 2^w. It panics
+// unless m < w < 64: the construction forbids w ≤ m, and w ≥ 64 overflows
+// the uint64 modulus 2^w to zero (division-by-zero semantics in Hash).
 func NewProjector(m, w uint, pi uint64) *Projector {
 	if w <= m {
 		panic("textvec: projector requires w > m")
+	}
+	if w >= 64 {
+		panic("textvec: projector requires w < 64 (2^w must fit in uint64)")
 	}
 	if pi == 0 {
 		pi = DefaultPi
@@ -162,17 +188,34 @@ func Cosine(a, b []float64) float64 {
 
 // TagPathVectorizer turns tag paths into fixed-dimension vectors: n-grams
 // over a dynamic vocabulary, then hash projection. It is the composition
-// used by Algorithm 1 to feed the action index.
+// used by Algorithm 1 to feed the action index. A vectorizer owns reusable
+// scratch state and must not be used from several goroutines at once.
 type TagPathVectorizer struct {
 	N     int // n-gram order (paper default 2)
 	vocab *Vocab
 	proj  *Projector
+
+	// bucketCount[j] is the number of vocabulary positions hashing to
+	// bucket j, maintained incrementally as the vocabulary grows — the
+	// count[] column of Project without the per-call O(vocab) rescan.
+	bucketCount []int
+	// gram is the reusable n-gram build buffer; ids the per-call gram IDs;
+	// touched the per-call list of buckets hit (for the mean division).
+	gram    []byte
+	ids     []int
+	touched []int
 }
 
 // NewTagPathVectorizer builds a vectorizer with the given n-gram order and
 // projection parameters (paper defaults: n=2, m=12, w=15).
 func NewTagPathVectorizer(n int, m, w uint) *TagPathVectorizer {
-	return &TagPathVectorizer{N: n, vocab: NewVocab(), proj: NewProjector(m, w, DefaultPi)}
+	proj := NewProjector(m, w, DefaultPi)
+	return &TagPathVectorizer{
+		N:           n,
+		vocab:       NewVocab(),
+		proj:        proj,
+		bucketCount: make([]int, proj.Dim()),
+	}
 }
 
 // Dim returns the fixed output dimension D.
@@ -181,9 +224,85 @@ func (tv *TagPathVectorizer) Dim() int { return tv.proj.Dim() }
 // VocabLen returns the current dynamic vocabulary size.
 func (tv *TagPathVectorizer) VocabLen() int { return tv.vocab.Len() }
 
+// gramID resolves the gram (as bytes) to its vocabulary ID, materializing
+// the string and updating the projection's bucket counts only on first
+// sight.
+func (tv *TagPathVectorizer) gramID(gram []byte) int {
+	if id, ok := tv.vocab.ids[string(gram)]; ok {
+		return id
+	}
+	id := len(tv.vocab.ids)
+	tv.vocab.ids[string(gram)] = id
+	tv.bucketCount[tv.proj.Hash(id)]++
+	return id
+}
+
+// appendToken appends one virtual framed token (BOS, tokens..., EOS) to the
+// gram buffer.
+func appendFramedToken(dst []byte, tokens []string, i int) []byte {
+	switch {
+	case i == 0:
+		return append(dst, BOS...)
+	case i == len(tokens)+1:
+		return append(dst, EOS...)
+	default:
+		return append(dst, tokens[i-1]...)
+	}
+}
+
 // Vectorize maps tag-path tokens to a D-dimensional vector, growing the
-// vocabulary as new grams appear.
+// vocabulary as new grams appear. The returned vector is freshly allocated;
+// everything else reuses the vectorizer's scratch. The output is
+// bit-identical to proj.Project(vocab.BoW(NGrams(tokens, N))): bucket sums
+// are integer-valued (exact in float64, so accumulation order is
+// irrelevant) and the collision counts come from the incrementally
+// maintained bucket table.
 func (tv *TagPathVectorizer) Vectorize(tokens []string) []float64 {
-	grams := NGrams(tokens, tv.N)
-	return tv.proj.Project(tv.vocab.BoW(grams))
+	tv.ids = tv.ids[:0]
+	n := tv.N
+	if n <= 1 {
+		for _, t := range tokens {
+			tv.gram = append(tv.gram[:0], t...)
+			tv.ids = append(tv.ids, tv.gramID(tv.gram))
+		}
+	} else {
+		framedLen := len(tokens) + 2
+		if framedLen < n {
+			// Shorter than one window: a single gram of the whole framed
+			// sequence (the NGrams fallback).
+			tv.gram = tv.gram[:0]
+			for i := 0; i < framedLen; i++ {
+				if i > 0 {
+					tv.gram = append(tv.gram, gramSep)
+				}
+				tv.gram = appendFramedToken(tv.gram, tokens, i)
+			}
+			tv.ids = append(tv.ids, tv.gramID(tv.gram))
+		} else {
+			for i := 0; i+n <= framedLen; i++ {
+				tv.gram = tv.gram[:0]
+				for j := i; j < i+n; j++ {
+					if j > i {
+						tv.gram = append(tv.gram, gramSep)
+					}
+					tv.gram = appendFramedToken(tv.gram, tokens, j)
+				}
+				tv.ids = append(tv.ids, tv.gramID(tv.gram))
+			}
+		}
+	}
+
+	out := make([]float64, tv.proj.Dim())
+	tv.touched = tv.touched[:0]
+	for _, id := range tv.ids {
+		j := tv.proj.Hash(id)
+		if out[j] == 0 {
+			tv.touched = append(tv.touched, j)
+		}
+		out[j]++
+	}
+	for _, j := range tv.touched {
+		out[j] /= float64(tv.bucketCount[j])
+	}
+	return out
 }

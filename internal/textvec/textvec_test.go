@@ -288,3 +288,73 @@ func BenchmarkCharBigrams(b *testing.B) {
 		_ = CharBigrams(url)
 	}
 }
+
+// NewProjector must reject w ≥ 64: uint64(1) << 64 overflows to a zero
+// modulus, making every Hash a division by zero. (Regression test.)
+func TestProjectorPanicsOnOverflowingW(t *testing.T) {
+	for _, w := range []uint{64, 65, 100} {
+		func(w uint) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewProjector(12, %d) must panic: 2^w overflows uint64", w)
+				}
+			}()
+			NewProjector(12, w, 0)
+		}(w)
+	}
+	// The largest valid w still works.
+	pr := NewProjector(12, 63, 0)
+	if h := pr.Hash(12345); h < 0 || h >= pr.Dim() {
+		t.Errorf("Hash out of range at w=63: %d", h)
+	}
+}
+
+// The reusable-hasher Vectorize must be bit-identical to the compositional
+// NGrams → BoW → Project pipeline, for every n-gram order and interleaving.
+func TestVectorizeMatchesCompositionalPipeline(t *testing.T) {
+	paths := [][]string{
+		{"html", "body", "div#main", "ul.datasets", "li", "a"},
+		{"html", "body", "nav", "ul.menu", "li", "a"},
+		{"html", "body", "div#main", "ul.datasets", "li", "a.dl"},
+		{"a"},
+		{},
+		{"html", "body", "div#main", "ul.datasets", "li", "a"}, // repeat
+	}
+	for _, n := range []int{1, 2, 3, 9} {
+		tv := NewTagPathVectorizer(n, 8, 12)
+		vocab := NewVocab()
+		proj := NewProjector(8, 12, DefaultPi)
+		for _, path := range paths {
+			got := tv.Vectorize(path)
+			want := proj.Project(vocab.BoW(NGrams(path, n)))
+			// Project returns len = D always; compare element-wise.
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: dim %d vs %d", n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d path %v: out[%d] = %v, want %v (must be bit-identical)",
+						n, path, i, got[i], want[i])
+				}
+			}
+		}
+		if tv.VocabLen() != vocab.Len() {
+			t.Errorf("n=%d: vocab sizes diverged: %d vs %d", n, tv.VocabLen(), vocab.Len())
+		}
+	}
+}
+
+// Steady-state Vectorize allocates only the returned vector: grams resolve
+// against the vocabulary by byte view, and the collision counts are
+// maintained incrementally (no per-call O(vocab) scratch).
+func TestVectorizeAllocsSteadyState(t *testing.T) {
+	tv := NewTagPathVectorizer(2, 12, 15)
+	path := []string{"html", "body", "div#container", "ul", "li.datasets", "a.dataset"}
+	tv.Vectorize(path) // warm: vocabulary and scratch grow here
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = tv.Vectorize(path)
+	})
+	if allocs > 1 {
+		t.Errorf("steady-state Vectorize allocates %v per call, want 1 (the output vector)", allocs)
+	}
+}

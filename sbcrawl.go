@@ -150,6 +150,16 @@ type Config struct {
 	// crawls should keep Prefetch small or zero; PrefetchAuto narrows
 	// quickly when speculation is not paying off.
 	Prefetch int
+	// ParseWorkers sizes the parallel parse stage of a pipelined crawl:
+	// completed speculative fetches with HTML bodies are tokenized and
+	// link-extracted by a bounded worker pool while the crawl loop is
+	// still busy with earlier pages, overlapping the parse of page k+1
+	// with the ingest of page k the way Prefetch overlaps network with
+	// CPU. 0 (default) auto-sizes the pool to min(GOMAXPROCS−1, 4);
+	// n > 0 fixes the width; negative disables the stage. Ignored when
+	// Prefetch == 0. Parsing is a pure function of the page bytes, so
+	// results are byte-identical at every setting.
+	ParseWorkers int
 
 	// StorePath, when non-empty, opens the persistent crawl store at that
 	// directory: every response the crawl fetches is written through to an
@@ -259,12 +269,13 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 	// interrupts politeness sleeps and in-flight requests promptly.
 	f.Ctx = ctx
 	return &core.Env{
-		Root:        cfg.Root,
-		Fetcher:     f,
-		MaxRequests: cfg.MaxRequests,
-		Ctx:         ctx,
-		Prefetch:    cfg.Prefetch,
-		SharedSpec:  shared,
+		Root:         cfg.Root,
+		Fetcher:      f,
+		MaxRequests:  cfg.MaxRequests,
+		Ctx:          ctx,
+		Prefetch:     cfg.Prefetch,
+		ParseWorkers: cfg.ParseWorkers,
+		SharedSpec:   shared,
 	}, nil
 }
 

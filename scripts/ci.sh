@@ -15,9 +15,18 @@ go test ./...
 # width) with the race detector watching the speculative fetch layer.
 go test -race ./...
 # Bench smoke: the perf-trajectory benchmarks still build and run — the
-# pipeline widths, the fleet speedup, the adaptive speculation window, and
-# the fleet-shared speculation cache.
-go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel|BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache' -benchtime 1x .
+# pipeline widths, the fleet speedup, the adaptive speculation window, the
+# fleet-shared speculation cache, and the parallel parse stage.
+go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel|BenchmarkAdaptivePrefetch|BenchmarkFleetSharedCache|BenchmarkParseStagePipeline' -benchtime 1x .
+# Zero-allocation hot-path gate: the pooled parse/extract scanners and the
+# reusable vectorizer hasher must keep their steady-state allocation
+# budgets (O(links) per page, never O(bytes); one output vector per
+# Vectorize), and the raw-text scan must stay copy-free.
+go test -run 'Alloc' -count=1 ./internal/dom ./internal/textvec
+# Fuzz seed-corpus gate: the tokenizer/extractor fuzz targets run their
+# checked-in seeds as ordinary tests (termination, Next/NextRaw agreement,
+# UTF-8 preservation, pool hygiene).
+go test -run 'Fuzz' -count=1 ./internal/dom
 # Storage-layer smoke: the segment-log benchmarks behind BENCH_store.json
 # (round trip, snapshot compaction, resume/index-rebuild overhead) still
 # build and run.

@@ -90,11 +90,12 @@ func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
 		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency, Ctx: ctx}
 	}
 	return &core.Env{
-		Root:        site.site.Root(),
-		Fetcher:     fetcher,
-		MaxRequests: cfg.MaxRequests,
-		Ctx:         ctx,
-		Prefetch:    cfg.Prefetch,
+		Root:         site.site.Root(),
+		Fetcher:      fetcher,
+		MaxRequests:  cfg.MaxRequests,
+		Ctx:          ctx,
+		Prefetch:     cfg.Prefetch,
+		ParseWorkers: cfg.ParseWorkers,
 		OracleClass: func(u string) int {
 			pg, ok := site.site.Lookup(u)
 			if !ok {

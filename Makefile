@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-run bench-store fleet-bench pipeline-bench speculation-bench
+.PHONY: ci build vet test race bench bench-run bench-store bench-serve fleet-bench pipeline-bench speculation-bench
 
 ci: vet test race
 
@@ -46,3 +46,8 @@ speculation-bench:
 # and resume (index rebuild) overhead → BENCH_store.json.
 bench-store:
 	sh scripts/bench.sh store
+
+# The crawld daemon: >= 1k concurrent sessions over the HTTP API, with
+# attach/step latency percentiles → BENCH_serve.json.
+bench-serve:
+	sh scripts/bench.sh serve

@@ -79,17 +79,17 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Scale:     *scale,
-		Seed:      *seed,
-		Runs:      *runs,
-		MaxPages:  *maxPages,
-		Workers:   *parallel,
+		Scale:        *scale,
+		Seed:         *seed,
+		Runs:         *runs,
+		MaxPages:     *maxPages,
+		Workers:      *parallel,
 		Prefetch:     prefetchWidth,
 		ParseWorkers: *parseW,
-		CSVDir:    *csvDir,
-		StorePath: *storeDir,
-		Resume:    *resume,
-		Out:       os.Stdout,
+		CSVDir:       *csvDir,
+		StorePath:    *storeDir,
+		Resume:       *resume,
+		Out:          os.Stdout,
 	}
 	if *sites != "" {
 		cfg.Sites = strings.Split(*sites, ",")

@@ -1,0 +1,85 @@
+// Command crawld is the always-on crawl-as-a-service daemon: it owns one
+// persistent crawl store and one per-host politeness registry, and serves
+// the session API (create / attach / stream progress / cancel / list) over
+// local HTTP. Kill it at any point and restart it on the same store:
+// interrupted sessions resume deterministically and clients re-attach by
+// POSTing the same spec.
+//
+// Usage:
+//
+//	crawld -store /var/lib/sbcrawl [-addr 127.0.0.1:7090] [-workers 8]
+//	       [-floor 1s] [-tenant-sessions 16] [-tenant-queue 1024]
+//	       [-session-units 512]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sbcrawl"
+	"sbcrawl/internal/serve"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:7090", "listen address (keep it loopback: the API is unauthenticated)")
+		storePath      = flag.String("store", "", "persistent crawl store directory (required)")
+		workers        = flag.Int("workers", 0, "concurrent crawl units (0 = one per core)")
+		floor          = flag.Duration("floor", 0, "politeness floor applied to every tenant's live crawls")
+		tenantSessions = flag.Int("tenant-sessions", 0, "max active sessions per tenant (0 = unlimited)")
+		tenantQueue    = flag.Int("tenant-queue", 0, "max queued crawl units per tenant (0 = unlimited)")
+		sessionUnits   = flag.Int("session-units", 0, "max crawl units per session (0 = unlimited)")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "crawld: -store is required (sessions are durable; the daemon needs its store directory)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		StorePath:       *storePath,
+		Workers:         *workers,
+		PolitenessFloor: *floor,
+		Limits: serve.Limits{
+			TenantSessions: *tenantSessions,
+			TenantQueue:    *tenantQueue,
+			SessionUnits:   *sessionUnits,
+		},
+	})
+	if err != nil {
+		if errors.Is(err, sbcrawl.ErrStoreLocked) {
+			log.Fatalf("crawld: %v\n(is another crawld already serving this store?)", err)
+		}
+		log.Fatalf("crawld: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("crawld: serving on http://%s (store %s)", *addr, *storePath)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("crawld: %v", err)
+		}
+	}()
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, cancel running
+	// crawls (their progress is already durable), release the store lock.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("crawld: shutting down (sessions resume on restart)")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		log.Printf("crawld: closing store: %v", err)
+	}
+}

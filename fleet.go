@@ -9,6 +9,7 @@ package sbcrawl
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"sbcrawl/internal/core"
 	"sbcrawl/internal/fetch"
@@ -117,26 +118,11 @@ func CrawlMany(cfgs []Config, opts FleetOptions) (*FleetResult, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlMany needs at least one Config")
 	}
-	// The fleet writes through one store handle, so every Config that sets
-	// StorePath must agree on it (sites are namespaced inside).
-	storePath := ""
-	for _, cfg := range cfgs {
-		switch {
-		case cfg.StorePath == "" || cfg.StorePath == storePath:
-		case storePath == "":
-			storePath = cfg.StorePath
-		default:
-			return nil, fmt.Errorf("sbcrawl: CrawlMany configs disagree on StorePath (%q vs %q)", storePath, cfg.StorePath)
-		}
+	cs, release, err := fleetStore(cfgs)
+	if err != nil {
+		return nil, err
 	}
-	var cs *crawlStore
-	if storePath != "" {
-		var err error
-		if cs, err = openCrawlStore(storePath); err != nil {
-			return nil, err
-		}
-		defer cs.Close()
-	}
+	defer release()
 	// One speculation cache per distinct UserAgent: a host may serve (and
 	// robots.txt may admit) different agents differently, so crawls only
 	// reuse fetches made with their own identity — a cache hit is then
@@ -170,15 +156,97 @@ func CrawlMany(cfgs []Config, opts FleetOptions) (*FleetResult, error) {
 		if c := caches[cfg.UserAgent]; c != nil {
 			shared = c
 		}
-		// Persistence is per Config: an entry that did not set StorePath
+		// Persistence is per Config: an entry that did not ask for a store
 		// crawls unpersisted even when the rest of the batch is durable.
 		jobCS := cs
-		if cfg.StorePath == "" {
+		if cfg.StorePath == "" && cfg.Store == nil {
 			jobCS = nil
 		}
 		jobs[i] = fleet.Job{Label: cfg.Root, Run: liveJob(cfg, shared, jobCS, &stats[i])}
 	}
-	return runFleet(jobs, opts, stats)
+	// Store-aware resume scheduling: dispatch the most-complete resuming
+	// entries first, so a restarted fleet finishes its nearly-done crawls
+	// soonest. Entries without Resume (or persistence) rank as cold.
+	var order []int
+	if cs != nil {
+		order = resumeOrder(len(cfgs), func(i int) CrawlProgress {
+			cfg := cfgs[i]
+			if !cfg.Resume || (cfg.StorePath == "" && cfg.Store == nil) {
+				return CrawlProgress{}
+			}
+			return progressFor(cs, liveNamespace(cfg), cfg.Root, cfg)
+		})
+	}
+	return runFleet(jobs, opts, stats, order)
+}
+
+// fleetStore resolves the one store handle a fleet writes through: every
+// Config with persistence must agree — the same shared open handle
+// (Config.Store), or the same StorePath (opened here, closed by release).
+func fleetStore(cfgs []Config) (cs *crawlStore, release func() error, err error) {
+	noop := func() error { return nil }
+	var shared *Store
+	storePath := ""
+	for _, cfg := range cfgs {
+		if cfg.Store != nil {
+			if shared != nil && shared != cfg.Store {
+				return nil, nil, fmt.Errorf("sbcrawl: fleet configs disagree on Config.Store (%q vs %q)", shared.path, cfg.Store.path)
+			}
+			shared = cfg.Store
+		}
+		switch {
+		case cfg.StorePath == "" || cfg.StorePath == storePath:
+		case storePath == "":
+			storePath = cfg.StorePath
+		default:
+			return nil, nil, fmt.Errorf("sbcrawl: fleet configs disagree on StorePath (%q vs %q)", storePath, cfg.StorePath)
+		}
+	}
+	if shared != nil {
+		if storePath != "" && storePath != shared.path {
+			return nil, nil, fmt.Errorf("sbcrawl: fleet Config.Store is open at %q but a StorePath says %q", shared.path, storePath)
+		}
+		return shared.cs, noop, nil
+	}
+	if storePath == "" {
+		return nil, noop, nil
+	}
+	if cs, err = openCrawlStore(storePath); err != nil {
+		return nil, nil, err
+	}
+	return cs, cs.Close, nil
+}
+
+// resumeOrder ranks a fleet's crawls most-complete-first from their durable
+// progress: done-record crawls first (they short-circuit instantly, freeing
+// worker slots), then by checkpointed request count descending, ties in
+// input order. Returns nil — input order — when the store is cold for every
+// crawl. Purely a scheduling hint: results, and their input-order
+// reporting, are byte-identical whatever the order.
+func resumeOrder(n int, progress func(i int) CrawlProgress) []int {
+	ps := make([]CrawlProgress, n)
+	warm := false
+	for i := 0; i < n; i++ {
+		ps[i] = progress(i)
+		if ps[i].Done || ps[i].Requests > 0 {
+			warm = true
+		}
+	}
+	if !warm {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := ps[order[a]], ps[order[b]]
+		if pa.Done != pb.Done {
+			return pa.Done
+		}
+		return pa.Requests > pb.Requests
+	})
+	return order
 }
 
 // liveJob builds the per-site closure running one live crawl, through the
@@ -203,14 +271,11 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sbcrawl: CrawlSites needs at least one Site")
 	}
-	var cs *crawlStore
-	if cfg.StorePath != "" {
-		var err error
-		if cs, err = openCrawlStore(cfg.StorePath); err != nil {
-			return nil, err
-		}
-		defer cs.Close()
+	cs, release, err := storeFor(cfg)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	// One speculation cache per distinct Site: sharing is only sound when
 	// every member sees identical content per URL, which a Site guarantees
 	// and two different Sites (even of one profile, at another seed) do
@@ -238,12 +303,24 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 	}
 	jobs := make([]fleet.Job, len(sites))
 	stats := make([]*StoreStats, len(sites))
+	siteCfgs := make([]Config, len(sites))
 	for i, site := range sites {
 		siteCfg := cfg
 		siteCfg.Seed = fleet.DeriveSeed(cfg.Seed, i)
+		siteCfgs[i] = siteCfg
 		jobs[i] = fleet.Job{Label: site.Code(), Run: simJob(site, siteCfg, caches[site], cs, &stats[i])}
 	}
-	return runFleet(jobs, opts, stats)
+	// Store-aware resume scheduling: start the most-complete sites first
+	// (done-record sites free their slots instantly, checkpointed sites
+	// finish soonest); progress is keyed by each site's derived seed, the
+	// same Config its crawl will fingerprint.
+	var order []int
+	if cfg.Resume && cs != nil {
+		order = resumeOrder(len(sites), func(i int) CrawlProgress {
+			return progressFor(cs, simNamespace(sites[i]), sites[i].site.Root(), siteCfgs[i])
+		})
+	}
+	return runFleet(jobs, opts, stats, order)
 }
 
 // simJob builds the per-site closure running one simulated crawl.
@@ -275,9 +352,10 @@ func runFleetCrawl(cfg Config, env *core.Env, sitePages int, cs *crawlStore, ns 
 	return res, nil
 }
 
-// runFleet executes the jobs and converts the summary to the public type.
-func runFleet(jobs []fleet.Job, opts FleetOptions, storeStats []*StoreStats) (*FleetResult, error) {
-	sum, err := fleet.Run(jobs, fleet.Options{Workers: opts.Workers, Ctx: opts.Ctx})
+// runFleet executes the jobs (in dispatch order, when one is given) and
+// converts the summary to the public type.
+func runFleet(jobs []fleet.Job, opts FleetOptions, storeStats []*StoreStats, order []int) (*FleetResult, error) {
+	sum, err := fleet.Run(jobs, fleet.Options{Workers: opts.Workers, Ctx: opts.Ctx, Order: order})
 	out := &FleetResult{
 		Sites:          make([]SiteOutcome, len(sum.Sites)),
 		Completed:      sum.Completed,

@@ -1,0 +1,69 @@
+package sbcrawl
+
+// This file is the public face of the per-host politeness registry: an
+// explicitly-owned politeness domain replacing the implicit process-wide
+// shared limiter for long-lived multi-crawl processes. The crawld daemon
+// owns one HostRegistry and installs it on every session's crawls, so the
+// BUbiNG per-host invariant — two requests to one host at least the
+// politeness delay apart — holds across tenants, not just within a crawl.
+
+import (
+	"time"
+
+	"sbcrawl/internal/fetch"
+)
+
+// HostRegistry is an explicitly-owned per-host politeness domain. Every
+// live crawl given the same registry (Config.Hosts) observes per-host
+// request spacing globally across all of them — no matter which tenant,
+// session, or fleet issued the request — and the owner can raise a
+// domain-wide politeness floor and inspect per-host traffic.
+//
+// Library calls without a registry share the process-wide default limiter,
+// which preserves the same invariant implicitly; a daemon owns a registry
+// so politeness state has an explicit lifetime and an inspection surface.
+// A HostRegistry is safe for concurrent use.
+type HostRegistry struct {
+	reg *fetch.Registry
+}
+
+// NewHostRegistry builds an empty politeness registry.
+func NewHostRegistry() *HostRegistry {
+	return &HostRegistry{reg: fetch.NewRegistry()}
+}
+
+// SetFloor sets the registry-wide politeness floor: every request through
+// the registry waits at least d since the previous request to its host,
+// whatever the individual crawl's Politeness asked for. Crawls may always
+// be more polite than the floor, never less.
+func (r *HostRegistry) SetFloor(d time.Duration) { r.reg.SetFloor(d) }
+
+// Floor returns the registry-wide politeness floor.
+func (r *HostRegistry) Floor() time.Duration { return r.reg.Floor() }
+
+// HostUsage is a snapshot of one host's politeness accounting.
+type HostUsage struct {
+	// Host is the rate-limiting key: host:port with the scheme stripped.
+	Host string
+	// Grants counts politeness windows granted — one per request that went
+	// through the registry to this host.
+	Grants int
+	// Waited is the total time requests spent blocked on the host's window;
+	// zero means the host was never contended.
+	Waited time.Duration
+	// LastGrant is when the host's window was last claimed.
+	LastGrant time.Time
+}
+
+// Usage snapshots the per-host accounting, sorted by host.
+func (r *HostRegistry) Usage() []HostUsage {
+	us := r.reg.Usage()
+	out := make([]HostUsage, len(us))
+	for i, u := range us {
+		out[i] = HostUsage(u)
+	}
+	return out
+}
+
+// HostCount returns how many distinct hosts the registry has served.
+func (r *HostRegistry) HostCount() int { return r.reg.HostCount() }

@@ -35,6 +35,13 @@ type HTTP struct {
 	// same host observe MinDelay between one another's requests, while
 	// crawls of distinct hosts proceed independently.
 	Limiter *HostLimiter
+	// Registry, when non-nil, routes politeness through an explicitly-owned
+	// per-host registry instead of Limiter/SharedHostLimiter: the registry's
+	// delay floor applies and every grant is accounted per host. A daemon
+	// multiplexing many tenants installs one Registry on every fetcher it
+	// builds, so per-host spacing holds across all of them. Takes
+	// precedence over Limiter.
+	Registry *Registry
 	// Ctx, when non-nil, cancels politeness waits promptly and aborts
 	// in-flight requests when the crawl is cancelled: a fetcher stuck in a
 	// MinDelay (or Crawl-delay) sleep wakes immediately instead of
@@ -77,6 +84,9 @@ func (f *HTTP) politeWait(url string) error {
 		if d := time.Duration(f.robots.delay(f.UserAgent, url)); d > delay {
 			delay = d
 		}
+	}
+	if f.Registry != nil {
+		return f.Registry.WaitContext(f.Ctx, hostKey(url), delay)
 	}
 	limiter := f.Limiter
 	if limiter == nil {

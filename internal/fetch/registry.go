@@ -1,0 +1,119 @@
+package fetch
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is an explicitly-owned politeness domain: one table of per-host
+// rate-limiting windows plus per-host accounting, constructed and held by
+// whoever owns the process's crawling (the crawld daemon), instead of the
+// implicit package-global SharedHostLimiter. Every fetcher routed through
+// one Registry observes the BUbiNG invariant across all of them — two
+// requests to the same host stay at least the politeness delay apart no
+// matter which tenant, session, or crawl issued them — and the owner can
+// introspect per-host traffic and raise the politeness floor domain-wide.
+//
+// SharedHostLimiter remains the default for ad-hoc library use (Crawl /
+// CrawlMany without a registry); a long-lived multi-tenant process should
+// own a Registry so politeness state has an explicit lifetime and an
+// inspection surface rather than hiding in a package global.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	limiter *HostLimiter
+
+	mu    sync.Mutex
+	hosts map[string]*hostUsage
+	floor time.Duration
+}
+
+// hostUsage is one host's accumulated politeness accounting.
+type hostUsage struct {
+	grants    int
+	waited    time.Duration
+	lastGrant time.Time
+}
+
+// HostUsage is a snapshot of one host's politeness accounting.
+type HostUsage struct {
+	// Host is the limiter key (host:port, scheme stripped).
+	Host string
+	// Grants counts politeness windows granted for the host — one per
+	// request that went through the registry.
+	Grants int
+	// Waited is the total time requests spent blocked on the host's
+	// window; zero means the host was never contended.
+	Waited time.Duration
+	// LastGrant is when the host's window was last claimed.
+	LastGrant time.Time
+}
+
+// NewRegistry builds an empty politeness registry.
+func NewRegistry() *Registry {
+	return &Registry{limiter: NewHostLimiter(), hosts: make(map[string]*hostUsage)}
+}
+
+// SetFloor sets the registry-wide politeness floor: every wait uses at least
+// this delay, whatever the individual fetcher asked for. A daemon uses it to
+// enforce a minimum politeness across all tenants (a tenant may always be
+// more polite than the floor, never less).
+func (r *Registry) SetFloor(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.floor = d
+}
+
+// Floor returns the registry-wide politeness floor.
+func (r *Registry) Floor() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floor
+}
+
+// WaitContext blocks until the host's politeness window opens, then claims
+// it, exactly like HostLimiter.WaitContext — with the registry floor applied
+// and the grant accounted. A cancelled ctx interrupts the wait promptly
+// without claiming the window or recording a grant. A nil ctx never cancels.
+func (r *Registry) WaitContext(ctx context.Context, host string, delay time.Duration) error {
+	if f := r.Floor(); delay < f {
+		delay = f
+	}
+	start := time.Now()
+	if err := r.limiter.WaitContext(ctx, host, delay); err != nil {
+		return err
+	}
+	waited := time.Since(start)
+	r.mu.Lock()
+	u := r.hosts[host]
+	if u == nil {
+		u = &hostUsage{}
+		r.hosts[host] = u
+	}
+	u.grants++
+	u.waited += waited
+	u.lastGrant = time.Now()
+	r.mu.Unlock()
+	return nil
+}
+
+// Usage snapshots the per-host accounting, sorted by host.
+func (r *Registry) Usage() []HostUsage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]HostUsage, 0, len(r.hosts))
+	for h, u := range r.hosts {
+		out = append(out, HostUsage{Host: h, Grants: u.grants, Waited: u.waited, LastGrant: u.lastGrant})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// HostCount returns how many distinct hosts the registry has accounted.
+func (r *Registry) HostCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.hosts)
+}

@@ -27,6 +27,31 @@ type Options struct {
 	// context's error, and running crawls stop at their next request when
 	// their Env carries the same context.
 	Ctx context.Context
+	// Order, when a permutation of the job indices, is the dispatch order:
+	// Order[0] starts first, Order[1] next, and so on as worker slots free
+	// up. Results stay in input order and stay byte-identical — only the
+	// scheduling changes. Store-aware resume uses it to start the
+	// most-complete sites first so a resumed fleet finishes its nearly-done
+	// work soonest. Nil (or anything that is not a permutation of the job
+	// indices) means input order.
+	Order []int
+}
+
+// dispatchOrder validates opts.Order: a permutation of 0..n-1 is honored,
+// anything else falls back to input order rather than dropping or doubling
+// jobs.
+func dispatchOrder(order []int, n int) []int {
+	if len(order) != n {
+		return nil
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return nil
+		}
+		seen[i] = true
+	}
+	return order
 }
 
 // Job is one crawl of a fleet. Run receives the fleet's context so the job
@@ -88,9 +113,13 @@ func Run(jobs []Job, opts Options) (*Summary, error) {
 	for i := range jobs {
 		sum.Sites[i] = SiteResult{Index: i, Label: jobs[i].Label, Err: errNotRun}
 	}
+	order := dispatchOrder(opts.Order, len(jobs))
 	// The pool is Do's; job errors are isolated by always returning nil
 	// from the callback, so the only way Do errors is the context.
 	_ = Do(ctx, opts.Workers, len(jobs), func(i int) error {
+		if order != nil {
+			i = order[i]
+		}
 		// Do's dispatcher can still hand out indices after cancellation
 		// (both select cases ready); skip them here so cancelled fleets
 		// deterministically report every unstarted crawl as skipped

@@ -1,0 +1,115 @@
+package serve
+
+// BenchmarkServeSessions is the scale gate behind scripts/bench.sh serve:
+// one daemon multiplexing >= 1k concurrent sessions across 8 tenants over
+// the HTTP API, reporting sessions/s plus attach (POST /v1/sessions) and
+// step (GET /v1/sessions/{id}) latency percentiles. Sessions use distinct
+// crawl seeds so every one is a real crawl — none short-circuit from a
+// neighbor's done-record.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1) * p / 100)
+	return sorted[idx]
+}
+
+func BenchmarkServeSessions(b *testing.B) {
+	const (
+		sessions = 1024
+		tenants  = 8
+	)
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		srv, err := New(Config{StorePath: b.TempDir(), Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		client := NewClient(ts.URL)
+		ctx := context.Background()
+		// Four tiny cached sites shared by all sessions; distinct crawl
+		// seeds make every session a distinct fingerprint (a real crawl).
+		siteSpecs := []SiteSpec{
+			{Code: "cl", Scale: 0.005, Seed: 1},
+			{Code: "cn", Scale: 0.005, Seed: 2},
+			{Code: "ju", Scale: 0.005, Seed: 3},
+			{Code: "ab", Scale: 0.005, Seed: 4},
+		}
+		b.StartTimer()
+
+		start := time.Now()
+		attach := make([]time.Duration, sessions)
+		step := make([]time.Duration, sessions)
+		ids := make([]string, sessions)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 64) // client-side concurrency, not a daemon limit
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				spec := SessionSpec{
+					Tenant: fmt.Sprintf("tenant-%d", i%tenants),
+					Name:   fmt.Sprintf("s-%04d", i),
+					Crawl:  CrawlSpec{Strategy: "sb", Seed: int64(i), MaxRequests: 40},
+					Sites:  []SiteSpec{siteSpecs[i%len(siteSpecs)]},
+				}
+				t0 := time.Now()
+				st, err := client.Create(ctx, spec)
+				attach[i] = time.Since(t0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				ids[i] = st.ID
+				t0 = time.Now()
+				if _, err := client.Get(ctx, st.ID); err != nil {
+					b.Error(err)
+				}
+				step[i] = time.Since(t0)
+			}(i)
+		}
+		wg.Wait()
+		// Every session now exists concurrently; peak load is all of them.
+		peak := srv.Stats()
+		for _, id := range ids {
+			if id == "" {
+				continue
+			}
+			if _, err := client.WaitDone(ctx, id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+
+		b.StopTimer()
+		sort.Slice(attach, func(i, j int) bool { return attach[i] < attach[j] })
+		sort.Slice(step, func(i, j int) bool { return step[i] < step[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		b.ReportMetric(float64(sessions)/elapsed.Seconds(), "sessions/s")
+		b.ReportMetric(float64(peak.Sessions), "peak_sessions")
+		b.ReportMetric(ms(percentile(attach, 50)), "attach_p50_ms")
+		b.ReportMetric(ms(percentile(attach, 95)), "attach_p95_ms")
+		b.ReportMetric(ms(percentile(attach, 99)), "attach_p99_ms")
+		b.ReportMetric(ms(percentile(step, 50)), "step_p50_ms")
+		b.ReportMetric(ms(percentile(step, 95)), "step_p95_ms")
+		b.ReportMetric(ms(percentile(step, 99)), "step_p99_ms")
+		ts.Close()
+		srv.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,437 @@
+package serve
+
+// Daemon acceptance tests. The load-bearing one is
+// TestServeResumeEquivalence — kill the daemon mid-session, restart it on
+// the same store, re-attach, and the final Results must be byte-identical
+// to a session that was never interrupted — extending the library's
+// resume-equivalence gate through the serve layer.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"sbcrawl"
+)
+
+// daemon spins up a Server plus its HTTP front, returning a connected
+// client and a shutdown func (kill=true closes only the daemon, keeping the
+// store directory for a restart).
+func daemon(t *testing.T, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return srv, NewClient(ts.URL), func() {
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// stripUnitStores clears store diagnostics from session results so
+// different store histories (warm vs cold) compare equal; the crawl
+// outcomes themselves must match byte for byte.
+func stripUnitStores(st SessionStatus) SessionStatus {
+	for i := range st.Results {
+		if st.Results[i].Result != nil {
+			st.Results[i].Result.Store = nil
+		}
+	}
+	return st
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, client, stop := daemon(t, Config{StorePath: t.TempDir(), Workers: 2})
+	defer stop()
+	ctx := context.Background()
+
+	spec := SessionSpec{
+		Tenant: "acme",
+		Name:   "nightly",
+		Crawl:  CrawlSpec{Strategy: "sb", Seed: 7},
+		Sites: []SiteSpec{
+			{Code: "cl", Scale: 0.01, Seed: 1},
+			{Code: "cn", Scale: 0.01, Seed: 2},
+		},
+	}
+	created, err := client.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != SessionID("acme", "nightly") || created.Units != 2 || created.State != StateRunning {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Same spec attaches; a different one conflicts.
+	again, err := client.Create(ctx, spec)
+	if err != nil || again.ID != created.ID {
+		t.Fatalf("re-create: %+v, %v", again, err)
+	}
+	badSpec := spec
+	badSpec.Crawl.Seed = 8
+	var apiErr *Error
+	if _, err := client.Create(ctx, badSpec); !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("conflicting spec error = %v, want 409", err)
+	}
+
+	final, err := client.WaitDone(ctx, created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.UnitsDone != 2 || len(final.Results) != 2 {
+		t.Fatalf("final = %+v", final)
+	}
+	for i, ur := range final.Results {
+		if ur.Err != "" || ur.Result == nil {
+			t.Fatalf("unit %d: %+v", i, ur)
+		}
+	}
+	if final.Results[0].Label != "cl" || final.Results[1].Label != "cn" {
+		t.Fatalf("labels = %q, %q", final.Results[0].Label, final.Results[1].Label)
+	}
+	if final.Requests == 0 || final.Targets == 0 {
+		t.Fatalf("final totals empty: %+v", final)
+	}
+
+	// The session's crawls match the library fleet exactly: same store-less
+	// results as CrawlSites with the same derivation.
+	var sites []*sbcrawl.Site
+	for _, sp := range spec.Sites {
+		site, err := sbcrawl.GenerateSite(sp.Code, sp.Scale, sp.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, site)
+	}
+	fleetRes, err := sbcrawl.CrawlSites(sites, sbcrawl.Config{Strategy: sbcrawl.StrategySB, Seed: 7}, sbcrawl.FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final = stripUnitStores(final)
+	for i := range fleetRes.Sites {
+		want, got := fleetRes.Sites[i].Result, final.Results[i].Result
+		if got.Requests != want.Requests || len(got.Targets) != len(want.Targets) ||
+			!reflect.DeepEqual(got.Targets, want.Targets) {
+			t.Errorf("unit %d diverged from CrawlSites: req %d vs %d", i, got.Requests, want.Requests)
+		}
+	}
+
+	// Listing and stats see the finished session.
+	list, err := client.List(ctx, "acme")
+	if err != nil || len(list) != 1 || list[0].State != StateDone {
+		t.Fatalf("list = %+v, %v", list, err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil || stats.Sessions != 1 || stats.Active != 0 || stats.Tenants != 1 {
+		t.Fatalf("stats = %+v, %v", stats, err)
+	}
+	if _, err := client.Get(ctx, "feedfacefeedface"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("missing session error = %v, want 404", err)
+	}
+}
+
+// TestServeResumeEquivalence is the kill-the-daemon acceptance: a session
+// interrupted by daemon shutdown and resumed by a restarted daemon — client
+// re-attaching with the same spec — must produce Results byte-identical to
+// the same session run uninterrupted on a fresh store.
+func TestServeResumeEquivalence(t *testing.T) {
+	spec := SessionSpec{
+		Tenant: "acme",
+		Name:   "resume-me",
+		Crawl:  CrawlSpec{Strategy: "sb", Seed: 11, SimLatency: 200 * time.Microsecond, Prefetch: 4},
+		Sites: []SiteSpec{
+			{Code: "cl", Scale: 0.01, Seed: 3},
+			{Code: "ju", Scale: 0.01, Seed: 4},
+		},
+	}
+	ctx := context.Background()
+
+	// Baseline: the same session, never interrupted.
+	_, baseClient, stopBase := daemon(t, Config{StorePath: t.TempDir(), Workers: 2})
+	created, err := baseClient.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baseClient.WaitDone(ctx, created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopBase()
+	if baseline.State != StateDone {
+		t.Fatalf("baseline state = %q", baseline.State)
+	}
+
+	// Victim: same session on its own store, daemon killed mid-crawl.
+	dir := t.TempDir()
+	_, killClient, stopKill := daemon(t, Config{StorePath: dir, Workers: 2})
+	if _, err := killClient.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond) // let the crawls get somewhere mid-flight
+	stopKill()                        // SIGTERM equivalent: cancels crawls, releases the lock
+
+	// Restart on the same store; the client re-attaches with the same spec.
+	_, resumedClient, stopResumed := daemon(t, Config{StorePath: dir, Workers: 2})
+	defer stopResumed()
+	attached, err := resumedClient.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attached.ID != created.ID {
+		t.Fatalf("re-attach got id %s, want %s", attached.ID, created.ID)
+	}
+	resumed, err := resumedClient.WaitDone(ctx, attached.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.State != StateDone {
+		t.Fatalf("resumed state = %q", resumed.State)
+	}
+	baseline, resumed = stripUnitStores(baseline), stripUnitStores(resumed)
+	for i := range baseline.Results {
+		if !reflect.DeepEqual(resumed.Results[i], baseline.Results[i]) {
+			t.Errorf("unit %d: resumed result diverged from uninterrupted session\nbase: req=%d targets=%d\ngot:  req=%d targets=%d",
+				i, baseline.Results[i].Result.Requests, len(baseline.Results[i].Result.Targets),
+				resumed.Results[i].Result.Requests, len(resumed.Results[i].Result.Targets))
+		}
+	}
+	if resumed.Requests != baseline.Requests || resumed.Targets != baseline.Targets {
+		t.Errorf("totals diverged: base %d/%d, resumed %d/%d",
+			baseline.Requests, baseline.Targets, resumed.Requests, resumed.Targets)
+	}
+}
+
+// TestServeCancelDurable: cancelling is observable, stops the work, and
+// survives a restart — the next daemon does not resurrect the session.
+func TestServeCancelDurable(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := SessionSpec{
+		Tenant: "acme",
+		Name:   "doomed",
+		Crawl:  CrawlSpec{Strategy: "sb", Seed: 2, SimLatency: 2 * time.Millisecond},
+		Sites:  []SiteSpec{{Code: "cl", Scale: 0.01, Seed: 5}},
+	}
+	_, client, stop := daemon(t, Config{StorePath: dir, Workers: 1})
+	created, err := client.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := client.Cancel(ctx, created.ID)
+	if err != nil || cancelled.State != StateCancelled {
+		t.Fatalf("cancel = %+v, %v", cancelled, err)
+	}
+	stop()
+
+	srv2, client2, stop2 := daemon(t, Config{StorePath: dir, Workers: 1})
+	defer stop2()
+	got, err := client2.Get(ctx, created.ID)
+	if err != nil || got.State != StateCancelled {
+		t.Fatalf("after restart: %+v, %v", got, err)
+	}
+	if q := srv2.sched.queuedTotal(); q != 0 {
+		t.Fatalf("cancelled session re-enqueued %d units", q)
+	}
+}
+
+// TestServeStoreLocked pins the typed lock error through the daemon: a
+// store another process (here: another handle) owns fails construction
+// with sbcrawl.ErrStoreLocked and an actionable message.
+func TestServeStoreLocked(t *testing.T) {
+	dir := t.TempDir()
+	st, err := sbcrawl.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := New(Config{StorePath: dir}); !errors.Is(err, sbcrawl.ErrStoreLocked) {
+		t.Fatalf("New on a locked store = %v, want ErrStoreLocked", err)
+	}
+}
+
+// TestAdmissionLimits drives each limit to rejection and checks the typed
+// 429 envelope.
+func TestAdmissionLimits(t *testing.T) {
+	_, client, stop := daemon(t, Config{
+		StorePath: t.TempDir(),
+		Workers:   1,
+		Limits:    Limits{TenantSessions: 1, TenantQueue: 4, SessionUnits: 3},
+	})
+	defer stop()
+	ctx := context.Background()
+	slowCrawl := CrawlSpec{Strategy: "sb", Seed: 1, SimLatency: 20 * time.Millisecond}
+	site := SiteSpec{Code: "cl", Scale: 0.01, Seed: 1}
+
+	check429 := func(t *testing.T, err error) {
+		t.Helper()
+		var apiErr *Error
+		if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != "limit_exceeded" {
+			t.Fatalf("err = %v, want typed 429 limit_exceeded", err)
+		}
+	}
+
+	// SessionUnits: 4 > 3 rejected outright.
+	_, err := client.Create(ctx, SessionSpec{
+		Tenant: "acme", Name: "too-big", Crawl: slowCrawl,
+		Sites: []SiteSpec{site, {Code: "cl", Scale: 0.01, Seed: 2}, {Code: "cl", Scale: 0.01, Seed: 3}, {Code: "cl", Scale: 0.01, Seed: 4}},
+	})
+	check429(t, err)
+
+	// The slow session occupies the single worker and the tenant's one
+	// session slot.
+	first, err := client.Create(ctx, SessionSpec{Tenant: "acme", Name: "slow", Crawl: slowCrawl, Sites: []SiteSpec{site}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Create(ctx, SessionSpec{Tenant: "acme", Name: "second", Crawl: slowCrawl, Sites: []SiteSpec{site}})
+	check429(t, err)
+
+	// Another tenant is unaffected by acme's limits — and then fills its
+	// own queue: 3 queued units + 3 more would exceed TenantQueue=4.
+	if _, err := client.Create(ctx, SessionSpec{
+		Tenant: "beta", Name: "q1", Crawl: slowCrawl,
+		Sites: []SiteSpec{{Code: "cl", Scale: 0.01, Seed: 6}, {Code: "cl", Scale: 0.01, Seed: 7}, {Code: "cl", Scale: 0.01, Seed: 8}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Create(ctx, SessionSpec{
+		Tenant: "beta", Name: "q2", Crawl: slowCrawl,
+		Sites: []SiteSpec{{Code: "cl", Scale: 0.01, Seed: 9}, {Code: "cl", Scale: 0.01, Seed: 10}, {Code: "cl", Scale: 0.01, Seed: 11}},
+	})
+	check429(t, err)
+
+	// Cancelling the blocker frees acme's session slot.
+	if _, err := client.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Create(ctx, SessionSpec{Tenant: "acme", Name: "third", Crawl: slowCrawl, Sites: []SiteSpec{site}}); err != nil {
+		t.Fatalf("create after cancel: %v", err)
+	}
+}
+
+// TestSchedulerFairness pins the stride scheduler deterministically: with
+// tenants at weight 1 and 3 both saturated, dispatches over any window
+// split ~1:3, and the light tenant is never starved.
+func TestSchedulerFairness(t *testing.T) {
+	s := newScheduler()
+	tag := func(name string, n int) []*unit {
+		units := make([]*unit, n)
+		for i := range units {
+			units[i] = &unit{index: i, label: name}
+		}
+		return units
+	}
+	s.enqueue("light", 1, tag("light", 40))
+	s.enqueue("heavy", 3, tag("heavy", 40))
+	light, heavy := 0, 0
+	lastLight := -1
+	for i := 0; i < 40; i++ {
+		u, ok := s.next()
+		if !ok {
+			t.Fatal("scheduler closed early")
+		}
+		if u.label == "light" {
+			light++
+			if lastLight >= 0 && i-lastLight > 8 {
+				t.Fatalf("light tenant starved: gap of %d dispatches", i-lastLight)
+			}
+			lastLight = i
+		} else {
+			heavy++
+		}
+	}
+	if light < 8 || light > 12 || heavy < 28 || heavy > 32 {
+		t.Fatalf("40 dispatches split light=%d heavy=%d, want ~10/30", light, heavy)
+	}
+}
+
+// TestServeNoStarvation is the end-to-end fairness claim: a light tenant's
+// single crawl, submitted after a heavy tenant's 12-unit fleet, still
+// finishes long before the fleet does.
+func TestServeNoStarvation(t *testing.T) {
+	_, client, stop := daemon(t, Config{StorePath: t.TempDir(), Workers: 2})
+	defer stop()
+	ctx := context.Background()
+	crawl := CrawlSpec{Strategy: "sb", Seed: 3, SimLatency: time.Millisecond}
+
+	heavySites := make([]SiteSpec, 12)
+	for i := range heavySites {
+		heavySites[i] = SiteSpec{Code: "cl", Scale: 0.01, Seed: int64(100 + i)}
+	}
+	heavy, err := client.Create(ctx, SessionSpec{Tenant: "heavy", Name: "fleet", Crawl: crawl, Sites: heavySites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := client.Create(ctx, SessionSpec{Tenant: "light", Name: "one", Crawl: crawl,
+		Sites: []SiteSpec{{Code: "cl", Scale: 0.01, Seed: 200}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := client.WaitDone(ctx, light.ID); err != nil {
+		t.Fatal(err)
+	}
+	heavyNow, err := client.Get(ctx, heavy.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavyNow.State == StateDone {
+		t.Fatal("heavy fleet finished before the light tenant's single crawl — fairness gave the light tenant nothing")
+	}
+	if _, err := client.WaitDone(ctx, heavy.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveSessionSharedHost runs two tenants' live sessions against one
+// HTTP host and checks the daemon registry enforced cross-tenant politeness
+// accounting on it.
+func TestLiveSessionSharedHost(t *testing.T) {
+	site, err := sbcrawl.GenerateSite("cl", 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(site.Handler())
+	defer web.Close()
+
+	srv, client, stop := daemon(t, Config{StorePath: t.TempDir(), Workers: 2})
+	defer stop()
+	ctx := context.Background()
+	crawl := CrawlSpec{Strategy: "sb", Seed: 1, MaxRequests: 8, Politeness: time.Millisecond}
+
+	var ids []string
+	for _, tenant := range []string{"acme", "beta"} {
+		st, err := client.Create(ctx, SessionSpec{Tenant: tenant, Name: "live", Crawl: crawl, Roots: []string{web.URL + "/"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		final, err := client.WaitDone(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Results[0].Err != "" {
+			t.Fatalf("live unit failed: %s", final.Results[0].Err)
+		}
+	}
+	hosts, err := client.Hosts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 1 {
+		t.Fatalf("registry hosts = %+v, want exactly the shared host", hosts)
+	}
+	if hosts[0].Grants < 16 {
+		t.Fatalf("shared host grants = %d, want >= 16 (both tenants' requests accounted)", hosts[0].Grants)
+	}
+	if srv.hosts.HostCount() != 1 {
+		t.Fatalf("HostCount = %d", srv.hosts.HostCount())
+	}
+}

@@ -41,6 +41,7 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -72,6 +73,35 @@ const (
 	maxValLen    = 1 << 30
 	segSuffix    = ".seg"
 )
+
+// ErrLocked matches (via errors.Is) the failure of Open to acquire a store
+// directory's writer lock: another Store — in this process or another one —
+// already owns the directory. Callers that multiplex a store (the crawld
+// daemon) test for it to turn a startup failure into an actionable message
+// instead of a bare I/O error.
+var ErrLocked = errors.New("store: directory locked by another writer")
+
+// LockedError is the typed form of a writer-lock conflict: it names the
+// contested directory and carries the hint a caller should surface. It
+// unwraps to both ErrLocked and the underlying flock error.
+type LockedError struct {
+	// Dir is the store directory whose LOCK file is held elsewhere.
+	Dir string
+	// Err is the underlying lock-acquisition error (e.g. EWOULDBLOCK).
+	Err error
+}
+
+func (e *LockedError) Error() string {
+	return fmt.Sprintf("store: %s is already open for writing by another process or store handle "+
+		"(flock on %s held): close the other crawl or daemon using this store, "+
+		"share its open handle instead of re-opening the path, or point this one at a different directory: %v",
+		e.Dir, filepath.Join(e.Dir, "LOCK"), e.Err)
+}
+
+func (e *LockedError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrLocked) succeed for any LockedError.
+func (e *LockedError) Is(target error) bool { return target == ErrLocked }
 
 // Recovery reports damage Open found and healed.
 type Recovery struct {
@@ -133,7 +163,7 @@ func Open(dir string) (*Store, error) {
 	}
 	if err := lockFile(lock); err != nil {
 		lock.Close()
-		return nil, fmt.Errorf("store: %s is already open in another process: %w", dir, err)
+		return nil, &LockedError{Dir: dir, Err: err}
 	}
 	names, err := segmentNames(dir)
 	if err != nil {

@@ -2,10 +2,12 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -303,8 +305,27 @@ func TestOpenRefusesSecondWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
+	_, err = Open(dir)
+	if err == nil {
 		t.Fatal("second Open of a live store must fail")
+	}
+	// The conflict is typed and actionable: it matches ErrLocked, exposes
+	// the contested directory, and the message tells the operator what to
+	// do about it (another process owns the store).
+	if !errors.Is(err, ErrLocked) {
+		t.Errorf("second Open error does not match ErrLocked: %v", err)
+	}
+	var lerr *LockedError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("second Open error is not a *LockedError: %T %v", err, err)
+	}
+	if lerr.Dir != dir {
+		t.Errorf("LockedError.Dir = %q, want %q", lerr.Dir, dir)
+	}
+	for _, hint := range []string{dir, "another process", "close the other"} {
+		if !strings.Contains(err.Error(), hint) {
+			t.Errorf("lock error %q does not mention %q", err, hint)
+		}
 	}
 	s.Close()
 	s2, err := Open(dir)

@@ -37,6 +37,129 @@ import (
 	"sbcrawl/internal/store"
 )
 
+// ErrStoreLocked matches (via errors.Is) a store directory whose writer
+// lock is held elsewhere: another process — or another open Store handle in
+// this one — owns it. The error is actionable: it names the directory and
+// says to close the other owner or share its handle (Config.Store) instead
+// of re-opening the path.
+var ErrStoreLocked = store.ErrLocked
+
+// Store is an open persistent crawl store: the durable directory behind
+// Config.StorePath, held open once and shared by any number of concurrent
+// crawls. Config.StorePath opens and closes the directory per call, which
+// the flock writer lock limits to one call at a time; a long-lived process
+// multiplexing many crawls (the crawld daemon) opens the Store once and
+// passes the handle through Config.Store so every session writes through
+// it. All Store methods are safe for concurrent use.
+type Store struct {
+	cs   *crawlStore
+	path string
+}
+
+// OpenStore opens (or creates) the persistent crawl store at dir. The
+// directory has a single writer: a second open — from this process or
+// another — fails with an error matching ErrStoreLocked until the first
+// handle is closed.
+func OpenStore(dir string) (*Store, error) {
+	cs, err := openCrawlStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cs: cs, path: dir}, nil
+}
+
+// Close flushes and compacts the store and releases the writer lock.
+func (s *Store) Close() error { return s.cs.Close() }
+
+// Path returns the store's directory.
+func (s *Store) Path() string { return s.path }
+
+// RecordStore is the raw durable key/value view of one Store namespace:
+// last-write-wins Puts into the append-only segment log, Gets of the newest
+// value, sorted key listing, and an explicit Sync making buffered writes
+// durable. A daemon keeps its own bookkeeping (session records) in the same
+// store its crawls write through, so one directory — and one writer lock —
+// holds everything needed to restart.
+type RecordStore interface {
+	Put(key string, val []byte) error
+	Get(key string) ([]byte, bool)
+	Keys(prefix string) []string
+	Sync() error
+}
+
+// Records scopes a private key namespace inside the store. Namespaces are
+// independent of each other and of the crawl state (replay databases,
+// checkpoints, done-records, speculation spill) kept in the same directory.
+func (s *Store) Records(namespace string) RecordStore {
+	return store.Prefixed(s.cs.st, "x|"+namespace+"|")
+}
+
+// CrawlProgress reports how far a (possibly interrupted) crawl got, read
+// from its durable records without executing anything.
+type CrawlProgress struct {
+	// Requests is the charged budget at the last durable checkpoint — or
+	// the final request count when the crawl completed.
+	Requests int
+	// Targets is the number of targets retrieved at that point.
+	Targets int
+	// Done reports a recorded final result (Config.Resume would
+	// short-circuit this crawl).
+	Done bool
+}
+
+// SiteProgress reports the durable progress of CrawlSite(site, cfg) over
+// this store: zero if the crawl never checkpointed, its last checkpoint if
+// it was interrupted, its final tallies with Done set if it completed.
+// Resume scheduling uses it to start the most-complete sites first.
+func (s *Store) SiteProgress(site *Site, cfg Config) CrawlProgress {
+	return progressFor(s.cs, simNamespace(site), site.site.Root(), cfg)
+}
+
+// LiveProgress is SiteProgress for a live crawl (Crawl with cfg.Root).
+func (s *Store) LiveProgress(cfg Config) CrawlProgress {
+	return progressFor(s.cs, liveNamespace(cfg), cfg.Root, cfg)
+}
+
+// progressFor reads a crawl's done-record or last checkpoint from the
+// store, without touching any crawl state.
+func progressFor(cs *crawlStore, ns, root string, cfg Config) CrawlProgress {
+	records := store.Prefixed(cs.st, ns+"|c|")
+	fp := cfgFingerprint(cfg, root)
+	if raw, ok := records.Get("done|" + fp); ok {
+		var res core.Result
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err == nil {
+			return CrawlProgress{Requests: res.Requests, Targets: len(res.Targets), Done: true}
+		}
+	}
+	if raw, ok := records.Get("ckpt|" + fp); ok {
+		var cp core.Checkpoint
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err == nil {
+			return CrawlProgress{Requests: cp.Requests, Targets: cp.Targets}
+		}
+	}
+	return CrawlProgress{}
+}
+
+// storeFor resolves a Config's store: an already-open shared handle
+// (Config.Store — not closed here), a fresh per-call open of
+// Config.StorePath (closed by release), or no store at all (nil cs).
+func storeFor(cfg Config) (cs *crawlStore, release func() error, err error) {
+	noop := func() error { return nil }
+	if cfg.Store != nil {
+		if cfg.StorePath != "" && cfg.StorePath != cfg.Store.path {
+			return nil, nil, fmt.Errorf("sbcrawl: Config.Store is open at %q but Config.StorePath says %q", cfg.Store.path, cfg.StorePath)
+		}
+		return cfg.Store.cs, noop, nil
+	}
+	if cfg.StorePath == "" {
+		return nil, noop, nil
+	}
+	if cs, err = openCrawlStore(cfg.StorePath); err != nil {
+		return nil, nil, err
+	}
+	return cs, cs.Close, nil
+}
+
 // StoreStats reports what the persistent crawl store (Config.StorePath)
 // contributed to one crawl.
 type StoreStats struct {

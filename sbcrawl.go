@@ -180,8 +180,39 @@ type Config struct {
 	// (strategy, seed, budget, hyper-parameters), the stored Result is
 	// returned without re-executing. Crawls without a done-record run
 	// normally — over the warm store — so a killed fleet restarted with
-	// Resume only re-executes its unfinished sites.
+	// Resume only re-executes its unfinished sites. Resumed fleets also
+	// schedule store-aware: the most-complete sites (by checkpointed
+	// progress) dispatch first, so nearly-done work finishes soonest;
+	// results stay byte-identical to any other order.
 	Resume bool
+	// Store, when non-nil, is an already-open persistent crawl store the
+	// crawl writes through instead of opening StorePath itself. The store
+	// directory has a single writer (see OpenStore), so a long-lived process
+	// running many concurrent durable crawls — the crawld daemon — opens the
+	// handle once and shares it across all of them; per-call StorePath opens
+	// would collide on the writer lock (ErrStoreLocked). StorePath may be
+	// left empty or must match the handle's path.
+	Store *Store
+	// CheckpointEvery overrides the durable checkpoint cadence in charged
+	// requests (0 → the engine default, 256). Smaller values tighten the
+	// progress observable through Progress / Store.SiteProgress at the cost
+	// of more frequent store syncs.
+	CheckpointEvery int
+	// Progress, when non-nil, observes the crawl's periodic checkpoints
+	// in-process: it is called every CheckpointEvery charged requests with
+	// the running tallies (Done always false — the crawl is still going).
+	// Purely observational — it cannot change the crawl — and called from
+	// the crawl's goroutine, so fleets calling one closure from many sites
+	// need it to be safe for concurrent use.
+	Progress func(CrawlProgress)
+	// Hosts, when non-nil, routes the live crawl's politeness through an
+	// explicitly-owned per-host registry instead of the process-wide shared
+	// limiter: every crawl given the same HostRegistry observes per-host
+	// MinDelay spacing across all of them, the registry's politeness floor
+	// applies, and per-host traffic is accounted for inspection. The crawld
+	// daemon installs its registry on every session so one tenant's crawl
+	// can never break another's politeness. Ignored by simulated crawls.
+	Hosts *HostRegistry
 
 	// Theta is the tag-path similarity threshold θ (default 0.75).
 	Theta float64
@@ -238,7 +269,17 @@ type Result struct {
 // Only network-feasible strategies are allowed; oracle strategies need a
 // simulated site and are rejected here.
 func Crawl(cfg Config) (*Result, error) {
-	env, err := liveEnv(cfg, nil, nil)
+	return CrawlCtx(nil, cfg)
+}
+
+// CrawlCtx is Crawl with a cancellation context: a cancelled ctx stops the
+// crawl at its next request — interrupting politeness sleeps and in-flight
+// requests promptly — and returns the partial Result. With a store attached
+// (Config.StorePath / Config.Store), the interrupted crawl's responses are
+// already durable, so running the same Config again resumes
+// deterministically. A nil ctx never cancels.
+func CrawlCtx(ctx context.Context, cfg Config) (*Result, error) {
+	env, err := liveEnv(cfg, ctx, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +309,9 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 	// The fetcher shares the crawl's context so a cancelled crawl
 	// interrupts politeness sleeps and in-flight requests promptly.
 	f.Ctx = ctx
+	if cfg.Hosts != nil {
+		f.Registry = cfg.Hosts.reg
+	}
 	return &core.Env{
 		Root:         cfg.Root,
 		Fetcher:      f,
@@ -283,18 +327,18 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 // Config.StorePath is set), and converts the result. ns scopes the crawl's
 // keys inside the store (one namespace per site identity).
 func runCrawl(cfg Config, env *core.Env, sitePages int, ns string) (*Result, error) {
-	if cfg.StorePath == "" {
+	cs, release, err := storeFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if cs == nil {
 		res, _, err := execCrawl(cfg, env, sitePages)
 		if err != nil {
 			return nil, err
 		}
 		return convertResult(res), nil
 	}
-	cs, err := openCrawlStore(cfg.StorePath)
-	if err != nil {
-		return nil, err
-	}
-	defer cs.Close()
 	res, stats, err := persistedRun(cs, cfg, env, sitePages, ns)
 	if err != nil {
 		return nil, err
@@ -333,6 +377,15 @@ func execCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, bool, er
 	if len(cfg.TargetMIMEs) > 0 {
 		env.TargetMIMEs = urlutil.NewMIMESet(cfg.TargetMIMEs)
 	}
+	if cfg.CheckpointEvery > 0 {
+		env.CheckpointEvery = cfg.CheckpointEvery
+	}
+	// The progress observer rides the engine's checkpoint hook, wrapping
+	// whatever sink persistence installed (attach runs first), so durable
+	// checkpoints and in-process progress stay in lockstep.
+	if cfg.Progress != nil {
+		env.Checkpoint = &progressTee{next: env.Checkpoint, fn: cfg.Progress}
+	}
 	crawler, err := buildCrawler(cfg, sitePages)
 	if err != nil {
 		return nil, false, err
@@ -350,6 +403,20 @@ func execCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, bool, er
 		}
 	}
 	return res, interrupted, nil
+}
+
+// progressTee forwards engine checkpoints to both the durable sink (when
+// the store attached one) and the caller's Config.Progress observer.
+type progressTee struct {
+	next core.Checkpointer
+	fn   func(CrawlProgress)
+}
+
+func (t *progressTee) Checkpoint(cp core.Checkpoint) {
+	if t.next != nil {
+		t.next.Checkpoint(cp)
+	}
+	t.fn(CrawlProgress{Requests: cp.Requests, Targets: cp.Targets})
 }
 
 // convertResult maps an internal crawl result onto the public type.

@@ -31,6 +31,17 @@ if [ "${1:-}" = "extract" ]; then
 	exit 0
 fi
 
+if [ "${1:-}" = "serve" ]; then
+	# Daemon trajectory: BenchmarkServeSessions drives >= 1k concurrent
+	# sessions through the crawld HTTP API on one daemon, recording
+	# sessions/s plus attach/step latency percentiles (p50/p95/p99) in
+	# BENCH_serve.json.
+	OUT=${2:-BENCH_serve.json}
+	go test -run '^$' -bench BenchmarkServeSessions -benchtime 1x -json ./internal/serve > "$OUT"
+	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
+	exit 0
+fi
+
 if [ "${1:-}" = "store" ]; then
 	# Storage-layer trajectory: the internal/store segment-log benchmarks
 	# (replay-database round trip, snapshot compaction, resume overhead)

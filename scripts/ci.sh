@@ -35,3 +35,8 @@ go test -run '^$' -bench 'BenchmarkStoreRoundTrip|BenchmarkStoreSnapshot|Benchma
 # resume over the persistent store must stay byte-identical to an
 # uninterrupted run for every strategy and prefetch width.
 go test -race -run 'TestResumeEquivalence' -count=1 .
+# Daemon smoke, explicitly under -race: the crawld session lifecycle, the
+# kill-the-daemon resume equivalence, and multi-tenant fairness — the serve
+# layer multiplexes sessions over shared state, so race-clean is a hard
+# requirement there too.
+go test -race -run 'TestSessionLifecycle|TestServeResumeEquivalence|TestServeNoStarvation|TestSchedulerFairness' -count=1 ./internal/serve

@@ -76,7 +76,16 @@ func (s *Site) Handler() http.Handler { return s.server.Handler() }
 // CrawlSite runs any strategy against a simulated site, in memory, with all
 // ground truth wired for the oracle strategies. cfg.Root is ignored.
 func CrawlSite(site *Site, cfg Config) (*Result, error) {
-	return runCrawl(cfg, siteCrawlEnv(site, cfg, nil), site.PageCount(), simNamespace(site))
+	return CrawlSiteCtx(nil, site, cfg)
+}
+
+// CrawlSiteCtx is CrawlSite with a cancellation context: a cancelled ctx
+// stops the crawl at its next request — interrupting simulated round-trip
+// waits promptly — and returns the partial Result. With a store attached
+// the interrupted prefix is durable and the same Config resumes
+// deterministically. A nil ctx never cancels.
+func CrawlSiteCtx(ctx context.Context, site *Site, cfg Config) (*Result, error) {
+	return runCrawl(cfg, siteCrawlEnv(site, cfg, ctx), site.PageCount(), simNamespace(site))
 }
 
 // siteCrawlEnv wires a fresh crawl Env over a simulated site: its own

@@ -1,0 +1,237 @@
+package sbcrawl
+
+// Tests for the shared-store public surface grown for the crawld daemon:
+// the long-lived Store handle (OpenStore / Config.Store), durable progress
+// introspection (SiteProgress), the in-process Progress observer, typed
+// store-lock errors, and store-aware resume scheduling.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSharedStoreHandle runs concurrent durable crawls through one open
+// Store handle — the daemon pattern, where per-call StorePath opens would
+// collide on the writer lock — and checks the results match the per-call
+// path byte for byte.
+func TestSharedStoreHandle(t *testing.T) {
+	site, err := GenerateSite("cl", 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Strategy: StrategySB, Seed: 4, MaxRequests: 60}
+	baseline, err := CrawlSite(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Path() != dir {
+		t.Fatalf("Path() = %q, want %q", st.Path(), dir)
+	}
+
+	// While the handle is open, the directory has exactly one writer.
+	if _, err := OpenStore(dir); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second OpenStore error = %v, want ErrStoreLocked", err)
+	}
+	sharedCfg := cfg
+	sharedCfg.Store = st
+	results := make([]*Result, 4)
+	errs := make([]error, 4)
+	done := make(chan int)
+	for i := range results {
+		go func(i int) {
+			results[i], errs[i] = CrawlSite(site, sharedCfg)
+			done <- i
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shared-store crawl %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(stripStore(results[i]), baseline) {
+			t.Errorf("shared-store crawl %d diverged from store-less baseline", i)
+		}
+	}
+
+	// A Config naming both the handle and a different path is a mistake,
+	// not a silent preference.
+	badCfg := sharedCfg
+	badCfg.StorePath = t.TempDir()
+	if _, err := CrawlSite(site, badCfg); err == nil || !strings.Contains(err.Error(), "StorePath") {
+		t.Fatalf("Store/StorePath mismatch error = %v, want a mismatch error", err)
+	}
+}
+
+// TestStoreRecords pins the daemon-bookkeeping namespace: private records
+// round-trip through the store and are invisible to other namespaces.
+func TestStoreRecords(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a, b := st.Records("crawld"), st.Records("other")
+	if err := a.Put("sess|1", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := a.Get("sess|1"); !ok || string(got) != "alpha" {
+		t.Fatalf("Get = %q, %v; want alpha", got, ok)
+	}
+	if _, ok := b.Get("sess|1"); ok {
+		t.Fatal("record leaked across namespaces")
+	}
+	if keys := a.Keys("sess|"); len(keys) != 1 || keys[0] != "sess|1" {
+		t.Fatalf("Keys = %v, want [sess|1]", keys)
+	}
+}
+
+// TestSiteProgressObserved drives one crawl through its whole durable
+// lifecycle: Progress observes checkpoints in-process at the configured
+// cadence, a mid-flight kill leaves SiteProgress reporting the checkpointed
+// partial state, completion flips it to Done with final tallies, and the
+// resumed result is byte-identical to an uninterrupted run.
+func TestSiteProgressObserved(t *testing.T) {
+	site, err := GenerateSite("cn", 0.01, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Strategy: StrategySB, Seed: 3}
+	baseline, err := CrawlSite(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if p := st.SiteProgress(site, cfg); p != (CrawlProgress{}) {
+		t.Fatalf("cold store reports progress %+v", p)
+	}
+
+	// Kill via the Progress observer: cancel after the second checkpoint,
+	// so the crawl dies mid-flight at a deterministic durable state.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var observed atomic.Int32
+	killCfg := cfg
+	killCfg.Store = st
+	killCfg.CheckpointEvery = 8
+	killCfg.Progress = func(p CrawlProgress) {
+		if p.Done {
+			t.Error("Progress reported Done mid-crawl")
+		}
+		if p.Requests <= 0 {
+			t.Errorf("Progress reported non-positive requests: %+v", p)
+		}
+		if observed.Add(1) == 2 {
+			cancel()
+		}
+	}
+	if _, err := CrawlSiteCtx(ctx, site, killCfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := observed.Load(); n < 2 {
+		t.Fatalf("observed %d checkpoints, want >= 2", n)
+	}
+	p := st.SiteProgress(site, cfg)
+	if p.Done {
+		t.Fatal("killed crawl reports Done")
+	}
+	if p.Requests < 16 {
+		t.Fatalf("killed crawl checkpointed %d requests, want >= 16 (two 8-request checkpoints)", p.Requests)
+	}
+
+	// Resume to completion over the same handle.
+	resCfg := cfg
+	resCfg.Store = st
+	resCfg.Resume = true
+	resumed, err := CrawlSite(site, resCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStore(resumed), baseline) {
+		t.Error("resumed crawl diverged from uninterrupted run")
+	}
+	p = st.SiteProgress(site, cfg)
+	if !p.Done {
+		t.Fatal("completed crawl not reported Done")
+	}
+	if p.Requests != baseline.Requests || p.Targets != len(baseline.Targets) {
+		t.Fatalf("done progress = %+v, want requests=%d targets=%d", p, baseline.Requests, len(baseline.Targets))
+	}
+}
+
+// TestResumeOrderRanking pins the store-aware scheduling rank: done crawls
+// first, then checkpointed progress descending, cold crawls last, ties in
+// input order — and a fully cold store keeps input order (nil).
+func TestResumeOrderRanking(t *testing.T) {
+	ps := []CrawlProgress{
+		{},                          // 0: cold
+		{Requests: 40},              // 1: mid
+		{Requests: 96, Targets: 3},  // 2: most complete
+		{Requests: 512, Done: true}, // 3: done
+		{Requests: 40},              // 4: ties with 1 → input order
+		{Requests: 7, Done: true},   // 5: done (ties with 3 on Done → input order)
+	}
+	got := resumeOrder(len(ps), func(i int) CrawlProgress { return ps[i] })
+	want := []int{3, 5, 2, 1, 4, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumeOrder = %v, want %v", got, want)
+	}
+	if got := resumeOrder(3, func(int) CrawlProgress { return CrawlProgress{} }); got != nil {
+		t.Fatalf("cold store order = %v, want nil (input order)", got)
+	}
+}
+
+// TestResumeOrderedFleetEquivalence reruns a finished fleet with Resume
+// over its warm store — the path where store-aware ordering engages (every
+// site ranks Done) — and demands the short-circuited results match the
+// first run byte for byte.
+func TestResumeOrderedFleetEquivalence(t *testing.T) {
+	var sites []*Site
+	for seed := int64(1); seed <= 3; seed++ {
+		site, err := GenerateSite("cl", 0.01, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, site)
+	}
+	cfg := Config{Strategy: StrategySB, Seed: 5, StorePath: t.TempDir()}
+	first, err := CrawlSites(sites, cfg, FleetOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	second, err := CrawlSites(sites, cfg, FleetOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Store == nil || !second.Store.Completed {
+		t.Fatalf("resumed fleet not served from done-records: %+v", second.Store)
+	}
+	for i := range first.Sites {
+		if !reflect.DeepEqual(stripStore(second.Sites[i].Result), stripStore(first.Sites[i].Result)) {
+			t.Errorf("site %d: resumed result diverged", i)
+		}
+	}
+}

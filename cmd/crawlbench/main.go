@@ -40,6 +40,16 @@ func parsePrefetch(s string) (int, error) {
 	return strconv.Atoi(s)
 }
 
+// parsePartitions maps the -partitions flag onto
+// experiments.Config.Partitions: a partition count, 0 for off, or "auto"
+// for min(GOMAXPROCS, 8).
+func parsePartitions(s string) (int, error) {
+	if strings.EqualFold(s, "auto") {
+		return core.PartitionsAuto, nil
+	}
+	return strconv.Atoi(s)
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
@@ -52,6 +62,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory for figure CSV series")
 		parallel = flag.Int("parallel", 1, "sites crawled concurrently (0 = one per CPU core)")
 		prefetch = flag.String("prefetch", "0", "speculative fetch window per crawl: a width, 0 (sequential engine), or 'auto' (adaptive)")
+		parts    = flag.String("partitions", "0", "host-hash partitions per crawl (the intra-crawl fabric): a count, 0 (off), or 'auto' (min(cores, 8))")
 		parseW   = flag.Int("parse-workers", 0, "parallel parse workers per pipelined crawl: 0 = auto (min(cores-1, 4)), n fixes the pool, negative disables; ignored without -prefetch")
 		stats    = flag.Bool("stats", false, "append the speculation hit-rate report after the experiment (see -exp speculation)")
 		storeDir = flag.String("store", "", "persistent crawl store directory: responses spill to an append-only segment log and replay on later runs (see -exp resume)")
@@ -64,6 +75,11 @@ func main() {
 	prefetchWidth, err := parsePrefetch(*prefetch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crawlbench: bad -prefetch %q (want a width, 0, or 'auto')\n", *prefetch)
+		os.Exit(2)
+	}
+	partitionN, err := parsePartitions(*parts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawlbench: bad -partitions %q (want a count, 0, or 'auto')\n", *parts)
 		os.Exit(2)
 	}
 
@@ -85,6 +101,7 @@ func main() {
 		MaxPages:     *maxPages,
 		Workers:      *parallel,
 		Prefetch:     prefetchWidth,
+		Partitions:   partitionN,
 		ParseWorkers: *parseW,
 		CSVDir:       *csvDir,
 		StorePath:    *storeDir,

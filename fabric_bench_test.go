@@ -1,0 +1,63 @@
+package sbcrawl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFabricPartitions measures intra-crawl fabric throughput on a
+// latency-bound multi-host crawl: one BFS crawl over an 8-member federation
+// with simulated per-request latency, at partition counts 1/2/4/8. This is
+// the workload behind BENCH_fabric.json (`make bench-fabric`); the reported
+// extra metrics expose the exchange (forwarded URLs, stalls, max queue
+// depth) and the demand cache hit split.
+//
+// The members share one profile (distinct content seeds), so demand spreads
+// evenly across hosts — the fabric's favorable case. Skewed federations
+// concentrate demand on one partition and need a deeper Config.Lead to keep
+// scaling (see the Lead docs).
+func BenchmarkFabricPartitions(b *testing.B) {
+	site, err := GenerateFederation(
+		[]string{"ce", "ce", "ce", "ce", "ce", "ce", "ce", "ce"}, 0.005, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		parts := parts
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			cfg := Config{
+				Strategy:    StrategyBFS,
+				MaxRequests: 1200,
+				SimLatency:  20 * time.Millisecond,
+				Partitions:  parts,
+			}
+			var requests int
+			var forwarded, stalls, depth, hits, misses float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := CrawlSite(site, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				requests = res.Requests
+				if res.Fabric != nil {
+					forwarded += float64(res.Fabric.Forwarded)
+					stalls += float64(res.Fabric.Stalls)
+					depth += float64(res.Fabric.MaxQueueDepth)
+					hits += float64(res.Fabric.DemandHits)
+					misses += float64(res.Fabric.DemandMisses)
+				}
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			perSec := float64(requests) * n / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "req/s")
+			b.ReportMetric(forwarded/n, "forwarded/crawl")
+			b.ReportMetric(stalls/n, "stalls/crawl")
+			b.ReportMetric(depth/n, "maxqueue")
+			b.ReportMetric(hits/n, "demandhits/crawl")
+			b.ReportMetric(misses/n, "demandmisses/crawl")
+		})
+	}
+}

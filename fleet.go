@@ -87,6 +87,12 @@ type FleetResult struct {
 	// warm, Completed true when every site was served from its
 	// done-record. Nil when Config.StorePath was empty.
 	Store *StoreStats
+	// Fabric aggregates the partitioned-fabric activity of the fleet's
+	// sharded crawls (all zero when Config.Partitions was 0): counters and
+	// per-partition fetch counts summed across sites, Partitions and
+	// MaxQueueDepth the maxima seen. Wall-clock diagnostic, like
+	// Speculation.
+	Fabric FabricStats
 }
 
 // SpeculationStats reports speculative-fetch outcomes: fetches launched
@@ -317,7 +323,7 @@ func CrawlSites(sites []*Site, cfg Config, opts FleetOptions) (*FleetResult, err
 	var order []int
 	if cfg.Resume && cs != nil {
 		order = resumeOrder(len(sites), func(i int) CrawlProgress {
-			return progressFor(cs, simNamespace(sites[i]), sites[i].site.Root(), siteCfgs[i])
+			return progressFor(cs, simNamespace(sites[i]), sites[i].Root(), siteCfgs[i])
 		})
 	}
 	return runFleet(jobs, opts, stats, order)
@@ -371,6 +377,15 @@ func runFleet(jobs []fleet.Job, opts FleetOptions, storeStats []*StoreStats, ord
 			Evicted:    sum.Spec.Evicted,
 			HeadHits:   sum.Spec.HeadHits,
 			SharedHits: sum.Spec.SharedHits,
+		},
+		Fabric: FabricStats{
+			Partitions:       sum.Fabric.Partitions,
+			Forwarded:        sum.Fabric.Forwarded,
+			Stalls:           sum.Fabric.Stalls,
+			MaxQueueDepth:    sum.Fabric.MaxQueueDepth,
+			DemandHits:       sum.Fabric.DemandHits,
+			DemandMisses:     sum.Fabric.DemandMisses,
+			PartitionFetches: sum.Fabric.PartitionFetches,
 		},
 	}
 	for i, s := range sum.Sites {

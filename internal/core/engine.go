@@ -13,6 +13,7 @@ import (
 
 	"sbcrawl/internal/classify"
 	"sbcrawl/internal/dom"
+	"sbcrawl/internal/fabric"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/urlutil"
 )
@@ -63,6 +64,25 @@ type Env struct {
 	// a pure cache warm-up — dom.ExtractLinks is a pure function of the
 	// body — so results stay byte-identical at every pool size.
 	ParseWorkers int
+	// Partitions, when non-zero, shards the crawl's speculative side across
+	// a host-hash partitioned fabric (internal/fabric): each partition owns
+	// the hosts hashing to it, runs its own frontier and speculative fetch
+	// window, and forwards foreign-host links over a bounded in-process
+	// exchange. The engine's sequential loop is unchanged — it charges every
+	// request in global order and consumes the partitions' shared response
+	// cache — so results are byte-identical to Partitions == 0 for every
+	// strategy, and a virtual-time charge ledger keeps speculative spend a
+	// bounded lead over the real budget. n >= 1 runs n partitions;
+	// PartitionsAuto (any negative value) selects min(GOMAXPROCS, 8).
+	// Composes with Prefetch: the engine's own window then speculates over
+	// the fabric's cache. Meaningful for multi-host crawls (a federation);
+	// a single-host crawl hashes onto one partition.
+	Partitions int
+	// FabricWarm holds per-partition frontier snapshots from a prior run's
+	// checkpoint (Checkpoint.FabricFrontiers); a resumed partitioned crawl
+	// re-seeds its partitions from them. Pure warm-up — stale or missing
+	// snapshots cost cache misses, never correctness.
+	FabricWarm [][]byte
 	// SharedSpec, when non-nil and the crawl is pipelined, is the
 	// fleet-level shared speculation cache: speculative and demand GETs are
 	// published into it and cache misses consult it before the backend, so
@@ -97,6 +117,10 @@ type Env struct {
 // speculation controller (self-tuning window width).
 const PrefetchAuto = -1
 
+// PartitionsAuto is the Env.Partitions sentinel selecting an automatic
+// partition count, min(GOMAXPROCS, 8).
+const PartitionsAuto = fabric.Auto
+
 // DefaultCheckpointEvery is the checkpoint cadence when Env.CheckpointEvery
 // is zero.
 const DefaultCheckpointEvery = 256
@@ -123,6 +147,10 @@ type Checkpoint struct {
 	// GroupedState) when the running policy supports snapshotting; nil
 	// otherwise.
 	Frontier []byte
+	// FabricFrontiers holds one gob-serialized fabric.PartitionSnapshot per
+	// partition when the crawl is partitioned (Env.Partitions != 0); nil
+	// otherwise. Resume feeds them back through Env.FabricWarm.
+	FabricFrontiers [][]byte
 }
 
 // Checkpointer receives periodic crawl checkpoints (see Env.Checkpoint).
@@ -178,6 +206,11 @@ type Result struct {
 	// ParseHits counts link extractions served by the parallel parse stage
 	// (Env.ParseWorkers). Wall-clock diagnostic only, like Spec.
 	ParseHits int
+	// Fabric snapshots the partitioned fabric of a sharded crawl
+	// (Env.Partitions != 0); nil otherwise. Wall-clock diagnostic only,
+	// like Spec — the counters depend on scheduling and are outside the
+	// byte-identical determinism guarantee.
+	Fabric *fabric.Stats
 }
 
 // ActionStat summarizes one tag-path group after a crawl.
@@ -216,6 +249,8 @@ type engine struct {
 	tuner          *fetch.AutoTuner  // adaptive window controller; nil unless PrefetchAuto
 	parse          *parseAhead       // parallel parse stage; nil unless pipelined
 	parseHits      int
+	fabric         *fabric.Fabric // host-partitioned shards; nil unless Env.Partitions != 0
+	fabricStats    *fabric.Stats
 	rawLinks       []dom.Link // reusable raw-extraction buffer
 	specStats      *fetch.PrefetchStats
 	scope          *urlutil.Scope
@@ -246,13 +281,29 @@ func newEngine(env *Env) (*engine, error) {
 		trace:   &Trace{},
 		seen:    make(map[string]bool),
 	}
+	if env.Partitions != 0 && env.Fetcher != nil {
+		fb, err := fabric.New(env.Fetcher, fabric.Config{
+			Partitions: fabric.Resolve(env.Partitions),
+			Root:       env.Root,
+			Budget:     env.MaxRequests,
+			Warm:       env.FabricWarm,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		fb.Start()
+		e.fabric = fb
+		e.fetcher = fb
+	}
 	if env.Prefetch != 0 && env.Fetcher != nil {
 		width := env.Prefetch
 		if width < 0 { // PrefetchAuto: the tuner owns the width
 			e.tuner = fetch.NewAutoTuner()
 			width = e.tuner.Window()
 		}
-		e.prefetcher = fetch.NewPrefetcher(env.Fetcher, width)
+		// The engine's window speculates over the fabric's cache when both
+		// are on (e.fetcher is then the fabric, not Env.Fetcher).
+		e.prefetcher = fetch.NewPrefetcher(e.fetcher, width)
 		if env.SharedSpec != nil {
 			e.prefetcher.SetShared(env.SharedSpec)
 		}
@@ -276,6 +327,15 @@ func (e *engine) close() {
 		e.specStats = &st
 		e.prefetcher = nil
 		e.tuner = nil
+		e.fetcher = e.env.Fetcher
+	}
+	// The engine prefetcher quiesces first (its speculation runs through the
+	// fabric), then the fabric winds its partitions down.
+	if e.fabric != nil {
+		e.fabric.Close()
+		st := e.fabric.Stats()
+		e.fabricStats = &st
+		e.fabric = nil
 		e.fetcher = e.env.Fetcher
 	}
 	if e.parse != nil {
@@ -367,6 +427,9 @@ func (e *engine) maybeCheckpoint() {
 		if blob, err := snap.FrontierSnapshot(); err == nil {
 			cp.Frontier = blob
 		}
+	}
+	if e.fabric != nil {
+		cp.FabricFrontiers = e.fabric.SnapshotFrontiers()
 	}
 	sink.Checkpoint(cp)
 }
@@ -496,5 +559,6 @@ func (e *engine) result(name string, steps int) *Result {
 		Steps:          steps,
 		Spec:           e.specStats,
 		ParseHits:      e.parseHits,
+		Fabric:         e.fabricStats,
 	}
 }

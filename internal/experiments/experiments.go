@@ -53,6 +53,11 @@ type Config struct {
 	// (0 = auto when Prefetch is on, negative = off); see
 	// core.Env.ParseWorkers. Reports are identical whatever the value.
 	ParseWorkers int
+	// Partitions shards every crawl across a host-hash partitioned fabric
+	// (0 = off; negative = core.PartitionsAuto); see core.Env.Partitions.
+	// Reports are identical whatever the value — partitioning, like
+	// Prefetch, only warms the crawl loop's cache.
+	Partitions int
 	// Out receives the report (default os.Stdout).
 	Out io.Writer
 	// CSVDir, when set, receives figure series as CSV files.
@@ -208,6 +213,7 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 		Fetcher:      replay,
 		Prefetch:     cfg.Prefetch,
 		ParseWorkers: cfg.ParseWorkers,
+		Partitions:   cfg.Partitions,
 		OracleClass: func(u string) int {
 			pg, ok := site.Lookup(u)
 			if !ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/fabric"
 	"sbcrawl/internal/fetch"
 )
 
@@ -31,6 +32,7 @@ func RunSpeculation(cfg Config) error {
 		crawler  string
 		requests int
 		spec     fetch.PrefetchStats
+		fab      *fabric.Stats
 	}
 	type siteRows struct {
 		code string
@@ -55,7 +57,7 @@ func RunSpeculation(cfg Config) error {
 			if res.Spec == nil {
 				continue
 			}
-			out.rows = append(out.rows, row{crawler: c.Name(), requests: res.Requests, spec: *res.Spec})
+			out.rows = append(out.rows, row{crawler: c.Name(), requests: res.Requests, spec: *res.Spec, fab: res.Fabric})
 		}
 		return out, nil
 	})
@@ -76,6 +78,22 @@ func RunSpeculation(cfg Config) error {
 			fmt.Fprintf(cfg.Out, "%-5s %-14s %9d %9d %6d %6d %7d %9d %5.1f%%\n",
 				sr.code, r.crawler, r.requests, sp.Launched, sp.Hits, sp.Misses,
 				sp.Evicted, sp.HeadHits, 100*sp.HitRate())
+		}
+	}
+	if cfg.Partitions != 0 {
+		fmt.Fprintf(cfg.Out, "\nPartitioned fabric (partitions: %d; diagnostic, timing-dependent)\n", cfg.Partitions)
+		fmt.Fprintf(cfg.Out, "%-5s %-14s %9s %7s %8s %7s %7s  %s\n",
+			"site", "crawler", "forwarded", "stalls", "maxqueue", "dmhits", "dmmiss", "per-partition fetches")
+		for _, sr := range results {
+			for _, r := range sr.rows {
+				if r.fab == nil {
+					continue
+				}
+				fb := r.fab
+				fmt.Fprintf(cfg.Out, "%-5s %-14s %9d %7d %8d %7d %7d  %v\n",
+					sr.code, r.crawler, fb.Forwarded, fb.Stalls, fb.MaxQueueDepth,
+					fb.DemandHits, fb.DemandMisses, fb.PartitionFetches)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"sync"
+
+	"sbcrawl/internal/fetch"
+)
+
+// respCache is the partitions' shared speculative response store. Entries
+// are registered (begin) only after the ledger grants credit and immediately
+// before the backend call starts, so an entry's done channel always closes
+// in bounded time — the engine may safely block on it. Demand GETs consume
+// entries (take); demand HEADs observe them (peek).
+type respCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	resp fetch.Response
+	err  error
+}
+
+func newRespCache() *respCache {
+	return &respCache{entries: make(map[string]*cacheEntry)}
+}
+
+// begin registers an in-flight fetch of u. created=false means another
+// fetch of u is already in flight or done; the caller waits on it instead
+// of duplicating the backend call.
+func (c *respCache) begin(u string) (e *cacheEntry, created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[u]; ok {
+		return e, false
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	c.entries[u] = e
+	return e, true
+}
+
+// finish publishes the outcome of a begun fetch.
+func (c *respCache) finish(e *cacheEntry, resp fetch.Response, err error) {
+	e.resp, e.err = resp, err
+	close(e.done)
+}
+
+// take removes u's entry and waits for its fetch to finish. Consume-once:
+// a second take of the same URL misses (the engine never demands a URL
+// twice, so this only bounds memory, not correctness).
+func (c *respCache) take(u string) (fetch.Response, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[u]
+	if ok {
+		delete(c.entries, u)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fetch.Response{}, nil, false
+	}
+	<-e.done
+	return e.resp, e.err, true
+}
+
+// remove drops u's entry if it still is e — tombstone cleanup for an
+// entry the engine's demand path published and will never take.
+func (c *respCache) remove(u string, e *cacheEntry) {
+	c.mu.Lock()
+	if cur, ok := c.entries[u]; ok && cur == e {
+		delete(c.entries, u)
+	}
+	c.mu.Unlock()
+}
+
+// peek waits for u's fetch without consuming it (the HEAD view of a
+// speculated GET).
+func (c *respCache) peek(u string) (fetch.Response, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[u]
+	c.mu.Unlock()
+	if !ok {
+		return fetch.Response{}, nil, false
+	}
+	<-e.done
+	return e.resp, e.err, true
+}
+
+// ledger is the virtual-time charge ledger splitting the request budget
+// across partitions. Accounting is per partition: every engine demand
+// request grants one credit to the partition owning the demanded URL (tick),
+// and a partition must acquire one of its own credits before each backend
+// fetch. Each partition may spend at most `lead` credits ahead of the demand
+// its hosts have actually drawn — so speculative effort follows the
+// engine's real traversal across hosts instead of racing each partition's
+// subset to a uniform depth. There is deliberately no shared global cap: a
+// shared pool gets drained by the partitions whose hosts the engine never
+// asks about, starving the ones it does. Total overshoot is still bounded
+// structurally — when demand stops, every partition freezes within `lead`
+// of its own final charge, so waste never exceeds partitions·lead (and the
+// Fabric clamps lead to the crawl budget for tiny crawls).
+//
+// The acquire-before-begin ordering is the liveness invariant: a cache
+// entry exists only once its backend call is underway, so the engine can
+// never block on an entry whose fetch is itself parked in acquire.
+type ledger struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	charged []int // demand requests observed, by owner partition
+	spent   []int // speculative credits consumed, by partition
+	lead    int
+	closed  bool
+}
+
+func newLedger(parts, lead int) *ledger {
+	l := &ledger{
+		charged: make([]int, parts),
+		spent:   make([]int, parts),
+		lead:    lead,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// tick records one demand request for a URL owned by partition p, releasing
+// a blocked fetch of that partition if any.
+func (l *ledger) tick(p int) {
+	l.mu.Lock()
+	l.charged[p]++
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// acquire blocks until partition p has a speculative credit available,
+// returning false when the fabric shut down instead.
+func (l *ledger) acquire(p int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for !l.closed && l.spent[p] >= l.charged[p]+l.lead {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return false
+	}
+	l.spent[p]++
+	return true
+}
+
+// close wakes every waiter; subsequent acquires fail.
+func (l *ledger) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import "sync"
+
+// Envelope is one cross-partition URL transfer. It is deliberately a flat
+// gob-encodable value — the in-process exchange moves it over channels
+// today, and a wire transport can frame the identical message tomorrow.
+type Envelope struct {
+	// From / To are partition indices.
+	From, To int
+	// URLs are normalized absolute URLs owned by partition To.
+	URLs []string
+}
+
+// exchange is the bounded in-process workbench exchange: one inbox channel
+// per partition, non-blocking sends. A full inbox parks the envelope on the
+// sender's retry list instead of blocking — two partitions forwarding into
+// each other's full inboxes must never deadlock.
+type exchange struct {
+	inboxes []chan Envelope
+
+	mu        sync.Mutex
+	forwarded int
+	stalls    int
+	maxDepth  int
+}
+
+func newExchange(partitions, inboxCap int) *exchange {
+	x := &exchange{inboxes: make([]chan Envelope, partitions)}
+	for i := range x.inboxes {
+		x.inboxes[i] = make(chan Envelope, inboxCap)
+	}
+	return x
+}
+
+// send delivers env to its destination inbox without blocking. It reports
+// false (and counts a stall) when the inbox is full; the caller retries on
+// its next loop iteration.
+func (x *exchange) send(env Envelope) bool {
+	ch := x.inboxes[env.To]
+	select {
+	case ch <- env:
+		x.mu.Lock()
+		x.forwarded += len(env.URLs)
+		if d := len(ch); d > x.maxDepth {
+			x.maxDepth = d
+		}
+		x.mu.Unlock()
+		return true
+	default:
+		x.mu.Lock()
+		x.stalls++
+		x.mu.Unlock()
+		return false
+	}
+}
+
+// inbox returns partition p's receive channel.
+func (x *exchange) inbox(p int) <-chan Envelope { return x.inboxes[p] }
+
+func (x *exchange) stats() (forwarded, stalls, maxDepth int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.forwarded, x.stalls, x.maxDepth
+}

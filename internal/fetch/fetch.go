@@ -41,16 +41,23 @@ type Fetcher interface {
 // ErrNotFetched reports a URL the fetcher refused to retrieve.
 var ErrNotFetched = errors.New("fetch: not fetched")
 
-// Sim serves requests from an in-memory webserver.Server; it is the
-// experiment path (no sockets, no waits, fully deterministic).
+// SimBackend is an in-memory website a Sim serves from: one
+// webserver.Server, or a webserver.Federation spanning several hosts.
+type SimBackend interface {
+	Get(url string) webserver.Response
+	Head(url string) webserver.Response
+}
+
+// Sim serves requests from an in-memory SimBackend; it is the experiment
+// path (no sockets, no waits, fully deterministic).
 type Sim struct {
-	server *webserver.Server
+	server SimBackend
 	// BlockMIME enables banned-MIME interruption (on by default).
 	BlockMIME bool
 }
 
 // NewSim wraps a simulated server.
-func NewSim(server *webserver.Server) *Sim {
+func NewSim(server SimBackend) *Sim {
 	return &Sim{server: server, BlockMIME: true}
 }
 

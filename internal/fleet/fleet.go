@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/fabric"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/metrics"
 )
@@ -94,6 +95,12 @@ type Summary struct {
 	// produced a result (zero when none speculated). Wall-clock diagnostic
 	// only — the counters depend on fetch timing, never on results.
 	Spec fetch.PrefetchStats
+	// Fabric aggregates the partitioned-fabric counters of every sharded
+	// crawl that produced a result (zero when none partitioned): summed
+	// forward/stall/demand counters, element-wise summed per-partition
+	// fetch counts, and the maximum partition count and queue depth seen.
+	// Wall-clock diagnostic only, like Spec.
+	Fabric fabric.Stats
 }
 
 // errNotRun marks jobs the pool never dispatched (context cancelled first).
@@ -161,6 +168,24 @@ func Run(jobs []Job, opts Options) (*Summary, error) {
 				sum.Spec.Evicted += sp.Evicted
 				sum.Spec.HeadHits += sp.HeadHits
 				sum.Spec.SharedHits += sp.SharedHits
+			}
+			if fb := s.Result.Fabric; fb != nil {
+				if fb.Partitions > sum.Fabric.Partitions {
+					sum.Fabric.Partitions = fb.Partitions
+				}
+				sum.Fabric.Forwarded += fb.Forwarded
+				sum.Fabric.Stalls += fb.Stalls
+				if fb.MaxQueueDepth > sum.Fabric.MaxQueueDepth {
+					sum.Fabric.MaxQueueDepth = fb.MaxQueueDepth
+				}
+				sum.Fabric.DemandHits += fb.DemandHits
+				sum.Fabric.DemandMisses += fb.DemandMisses
+				for len(sum.Fabric.PartitionFetches) < len(fb.PartitionFetches) {
+					sum.Fabric.PartitionFetches = append(sum.Fabric.PartitionFetches, 0)
+				}
+				for i, n := range fb.PartitionFetches {
+					sum.Fabric.PartitionFetches[i] += n
+				}
 			}
 		}
 	}

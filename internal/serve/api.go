@@ -65,6 +65,7 @@ type CrawlSpec struct {
 	EarlyStop       bool          `json:"early_stop,omitempty"`
 	SimLatency      time.Duration `json:"sim_latency,omitempty"`
 	Prefetch        int           `json:"prefetch,omitempty"`
+	Partitions      int           `json:"partitions,omitempty"`
 	ParseWorkers    int           `json:"parse_workers,omitempty"`
 	Politeness      time.Duration `json:"politeness,omitempty"`
 	TargetMIMEs     []string      `json:"target_mimes,omitempty"`
@@ -87,6 +88,7 @@ func (c CrawlSpec) config() sbcrawl.Config {
 		EarlyStop:       c.EarlyStop,
 		SimLatency:      c.SimLatency,
 		Prefetch:        c.Prefetch,
+		Partitions:      c.Partitions,
 		ParseWorkers:    c.ParseWorkers,
 		Politeness:      c.Politeness,
 		TargetMIMEs:     c.TargetMIMEs,

@@ -1,0 +1,192 @@
+package webserver
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"sbcrawl/internal/sitegen"
+)
+
+// Federation serves several generated sites as one multi-host website: an
+// apex portal page links every member root, and each member is mounted on
+// its own subdomain (s0.<domain>, s1.<domain>, …) of the federation apex.
+// Every member HTML page additionally carries a deterministic footer with
+// cross-host links (the portal, the next member's root, and the same path
+// on the next member), so a crawl of the federation continuously discovers
+// URLs on foreign hosts — the workload the host-partitioned fabric shards.
+//
+// Member content is translated, not copied: a request for a subdomain URL
+// is mapped onto the member's canonical URL by prefix substitution, the
+// member server answers, and canonical absolute URLs in HTML bodies and
+// Location headers are rewritten back to the subdomain form. Target bodies
+// pass through untouched. Head is Get minus the body, so HEAD headers
+// always match the rewritten GET.
+type Federation struct {
+	domain    string
+	portalURL string
+	members   []*federationMember
+	portal    []byte
+	portalPg  *sitegen.Page
+	targets   []string
+}
+
+type federationMember struct {
+	server    *Server
+	site      *sitegen.Site
+	sub       string // "https://s<i>.<domain>"
+	canonical string // "https://" + site.Profile.Host
+	root      string // member root in subdomain form
+}
+
+// NewFederation mounts sites as subdomains of domain (e.g.
+// "federation.test") behind a portal at https://www.<domain>/.
+func NewFederation(domain string, sites []*sitegen.Site) *Federation {
+	f := &Federation{
+		domain:    domain,
+		portalURL: "https://www." + domain + "/",
+		portalPg:  &sitegen.Page{Kind: sitegen.KindHTML},
+	}
+	for i, site := range sites {
+		m := &federationMember{
+			server:    New(site),
+			site:      site,
+			sub:       fmt.Sprintf("https://s%d.%s", i, domain),
+			canonical: "https://" + site.Profile.Host,
+		}
+		m.root = m.sub + strings.TrimPrefix(site.Root(), m.canonical)
+		f.members = append(f.members, m)
+	}
+	var b bytes.Buffer
+	b.WriteString("<html><head><title>federation portal</title></head><body><h1>Members</h1><ul>")
+	for i, m := range f.members {
+		fmt.Fprintf(&b, `<li><a href="%s">member %d</a></li>`, m.root, i)
+	}
+	b.WriteString("</ul></body></html>")
+	f.portal = b.Bytes()
+	for _, m := range f.members {
+		for _, t := range m.site.TargetURLs() {
+			f.targets = append(f.targets, m.translateOut(t))
+		}
+	}
+	return f
+}
+
+// Root is the portal URL, the federation crawl's start point.
+func (f *Federation) Root() string { return f.portalURL }
+
+// Members returns the member count.
+func (f *Federation) Members() int { return len(f.members) }
+
+// PageCount is the total crawlable surface: the portal plus every member
+// page.
+func (f *Federation) PageCount() int {
+	n := 1
+	for _, m := range f.members {
+		n += len(m.site.Pages())
+	}
+	return n
+}
+
+// TargetURLs lists every member target in subdomain form (OMNISCIENT's
+// oracle feed).
+func (f *Federation) TargetURLs() []string { return f.targets }
+
+// TargetCount sums the members' reachable target counts.
+func (f *Federation) TargetCount() int {
+	n := 0
+	for _, m := range f.members {
+		n += m.site.ComputeStats().Available
+	}
+	return n
+}
+
+// Lookup resolves a federation URL to its ground-truth page: the synthetic
+// portal page, or the member page behind a subdomain URL. Oracle/metric use
+// only, like Server.Site.
+func (f *Federation) Lookup(url string) (*sitegen.Page, bool) {
+	if url == f.portalURL {
+		return f.portalPg, true
+	}
+	if m, canon, ok := f.resolve(url); ok {
+		return m.site.Lookup(canon)
+	}
+	return nil, false
+}
+
+// resolve finds the member owning url and its canonical translation.
+func (f *Federation) resolve(url string) (*federationMember, string, bool) {
+	for _, m := range f.members {
+		if strings.HasPrefix(url, m.sub+"/") {
+			return m, m.canonical + strings.TrimPrefix(url, m.sub), true
+		}
+	}
+	return nil, "", false
+}
+
+// translateOut maps a member-canonical URL to its subdomain form.
+func (m *federationMember) translateOut(url string) string {
+	return m.sub + strings.TrimPrefix(url, m.canonical)
+}
+
+// Get performs an HTTP GET against the federation.
+func (f *Federation) Get(url string) Response {
+	if url == f.portalURL {
+		return Response{
+			URL: url, Status: 200, MIME: "text/html; charset=utf-8",
+			Body: f.portal, ContentLength: len(f.portal),
+		}
+	}
+	m, canon, ok := f.resolve(url)
+	if !ok {
+		return Response{URL: url, Status: 404}
+	}
+	resp := m.server.Get(canon)
+	resp.URL = url
+	if resp.Location != "" && strings.HasPrefix(resp.Location, m.canonical) {
+		resp.Location = m.translateOut(resp.Location)
+	}
+	if resp.Status == 200 && strings.HasPrefix(resp.MIME, "text/html") {
+		resp.Body = f.rewrite(m, url, resp.Body)
+		resp.ContentLength = len(resp.Body)
+	}
+	return resp
+}
+
+// Head performs an HTTP HEAD: the full rewritten Get minus the body, so
+// ContentLength reflects the body a GET would actually transfer.
+func (f *Federation) Head(url string) Response {
+	resp := f.Get(url)
+	resp.Body = nil
+	return resp
+}
+
+// rewrite maps canonical absolute URLs in an HTML body to subdomain form
+// and appends the deterministic cross-host footer.
+func (f *Federation) rewrite(m *federationMember, url string, body []byte) []byte {
+	body = bytes.ReplaceAll(body, []byte(m.canonical), []byte(m.sub))
+	next := f.nextOf(m)
+	mirror := next.sub + strings.TrimPrefix(url, m.sub)
+	footer := fmt.Sprintf(
+		`<footer><a href="%s">federation portal</a> <a href="%s">next member</a> <a href="%s">mirror</a></footer>`,
+		f.portalURL, next.root, mirror)
+	out := make([]byte, 0, len(body)+len(footer))
+	out = append(out, body...)
+	out = append(out, footer...)
+	return out
+}
+
+func (f *Federation) nextOf(m *federationMember) *federationMember {
+	for i, cand := range f.members {
+		if cand == m {
+			return f.members[(i+1)%len(f.members)]
+		}
+	}
+	return f.members[0]
+}
+
+// String describes the federation for logs.
+func (f *Federation) String() string {
+	return fmt.Sprintf("federation(%s, %d members, %d pages)",
+		f.domain, len(f.members), f.PageCount())
+}

@@ -112,7 +112,7 @@ type CrawlProgress struct {
 // it was interrupted, its final tallies with Done set if it completed.
 // Resume scheduling uses it to start the most-complete sites first.
 func (s *Store) SiteProgress(site *Site, cfg Config) CrawlProgress {
-	return progressFor(s.cs, simNamespace(site), site.site.Root(), cfg)
+	return progressFor(s.cs, simNamespace(site), site.Root(), cfg)
 }
 
 // LiveProgress is SiteProgress for a live crawl (Crawl with cfg.Root).
@@ -241,9 +241,9 @@ func liveNamespace(cfg Config) string {
 }
 
 // cfgFingerprint keys done-records: every Config field that can change a
-// crawl's result participates. Prefetch and SimLatency are deliberately
-// absent — results are byte-identical at every speculation width and
-// latency, so a done-record serves them all.
+// crawl's result participates. Prefetch, SimLatency, and Partitions are
+// deliberately absent — results are byte-identical at every speculation
+// width, latency, and partition count, so a done-record serves them all.
 func cfgFingerprint(cfg Config, root string) string {
 	mimes := append([]string(nil), cfg.TargetMIMEs...)
 	sort.Strings(mimes)
@@ -285,7 +285,18 @@ func (cs *crawlStore) attach(env *core.Env, cfg Config, ns string) *persistedCra
 		doneKey: "done|" + cfgFingerprint(cfg, env.Root),
 		resumed: replay.Stored() > 0,
 	}
-	env.Checkpoint = &storeSink{b: pc.records, key: "ckpt|" + cfgFingerprint(cfg, env.Root)}
+	ckptKey := "ckpt|" + cfgFingerprint(cfg, env.Root)
+	env.Checkpoint = &storeSink{b: pc.records, key: ckptKey}
+	// A prior run's last checkpoint re-seeds the partition frontiers of a
+	// resumed partitioned crawl (Config.Partitions). Pure warm-up: the
+	// snapshot only primes speculation, so a stale, missing, or
+	// differently-partitioned snapshot never changes the result.
+	if raw, ok := pc.records.Get(ckptKey); ok {
+		var cp core.Checkpoint
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err == nil {
+			env.FabricWarm = cp.FabricFrontiers
+		}
+	}
 	return pc
 }
 

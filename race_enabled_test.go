@@ -1,0 +1,8 @@
+//go:build race
+
+package sbcrawl
+
+// raceEnabled reports whether this test binary was built with -race, so
+// wall-clock timing assertions can stand down (the detector's overhead is
+// not evenly distributed across goroutines).
+const raceEnabled = true

@@ -150,6 +150,27 @@ type Config struct {
 	// crawls should keep Prefetch small or zero; PrefetchAuto narrows
 	// quickly when speculation is not paying off.
 	Prefetch int
+	// Partitions shards one crawl's speculative side across a host-hash
+	// partitioned fabric: each partition owns the hosts hashing to it, runs
+	// its own frontier and speculative fetch window, and forwards links it
+	// discovers for foreign hosts to their owners over a bounded in-process
+	// exchange. The crawl loop itself stays sequential and charges every
+	// request in global order, consuming the partitions' shared response
+	// cache, so results are byte-identical to Partitions == 0 for every
+	// strategy — partitioning, like Prefetch, is a pure cache warm-up — and
+	// a virtual-time charge ledger keeps speculative spend a bounded lead
+	// over the charged budget. 0 (default) disables partitioning; n >= 1
+	// runs n partitions; PartitionsAuto picks min(GOMAXPROCS, 8).
+	//
+	// Partitions pays off on multi-host crawls (a GenerateFederation site,
+	// or a live crawl spanning subdomains): hosts spread across partitions
+	// that fetch concurrently. A single-host crawl hashes every URL onto
+	// one partition — prefer Prefetch there. Composes with Prefetch (the
+	// engine's window runs over the fabric's cache) and with fleet workers
+	// (workers overlap across sites, Partitions overlaps hosts within one
+	// site). Politeness still holds: partition fetches go through the same
+	// per-host rate limiting as every other request.
+	Partitions int
 	// ParseWorkers sizes the parallel parse stage of a pipelined crawl:
 	// completed speculative fetches with HTML bodies are tokenized and
 	// link-extracted by a bounded worker pool while the crawl loop is
@@ -234,6 +255,11 @@ type Config struct {
 // instead of using a fixed width. Any negative Prefetch behaves the same.
 const PrefetchAuto = core.PrefetchAuto
 
+// PartitionsAuto is the Config.Partitions value selecting an automatic
+// partition count, min(GOMAXPROCS, 8). Any negative Partitions behaves the
+// same.
+const PartitionsAuto = core.PartitionsAuto
+
 // CurvePoint is one sample of a crawl's progress curve.
 type CurvePoint struct {
 	Requests       int
@@ -262,6 +288,30 @@ type Result struct {
 	// Diagnostic only: two runs of one Config differ at most here, never
 	// in the crawl outcome above.
 	Store *StoreStats
+	// Fabric reports the partitioned fabric's activity (forwarded URLs,
+	// exchange stalls, per-partition fetch counts); nil when
+	// Config.Partitions was 0. Diagnostic only, like Store: the counters
+	// depend on scheduling, never the crawl outcome above.
+	Fabric *FabricStats
+}
+
+// FabricStats reports one partitioned crawl's fabric activity (see
+// Config.Partitions). All counters are wall-clock diagnostics.
+type FabricStats struct {
+	// Partitions is the resolved partition count.
+	Partitions int
+	// Forwarded counts URLs exchanged across partitions.
+	Forwarded int
+	// Stalls counts exchange sends that found a full inbox and retried.
+	Stalls int
+	// MaxQueueDepth is the deepest any exchange inbox got.
+	MaxQueueDepth int
+	// DemandHits / DemandMisses count crawl-loop requests served from the
+	// partitions' cache vs fallen through to the backend.
+	DemandHits   int
+	DemandMisses int
+	// PartitionFetches counts speculative fetches issued per partition.
+	PartitionFetches []int
 }
 
 // Crawl runs the configured strategy against a live website over HTTP,
@@ -380,6 +430,10 @@ func execCrawl(cfg Config, env *core.Env, sitePages int) (*core.Result, bool, er
 	if cfg.CheckpointEvery > 0 {
 		env.CheckpointEvery = cfg.CheckpointEvery
 	}
+	// Partitioning is wired here — after persistence attached (the fabric
+	// must speculate through the replay wrapper, not around it) and for
+	// live and simulated crawls alike.
+	env.Partitions = cfg.Partitions
 	// The progress observer rides the engine's checkpoint hook, wrapping
 	// whatever sink persistence installed (attach runs first), so durable
 	// checkpoints and in-process progress stay in lockstep.
@@ -431,6 +485,17 @@ func convertResult(res *core.Result) *Result {
 	}
 	for _, pt := range metrics.Curve(res.Trace, 500) {
 		out.Curve = append(out.Curve, CurvePoint(pt))
+	}
+	if res.Fabric != nil {
+		out.Fabric = &FabricStats{
+			Partitions:       res.Fabric.Partitions,
+			Forwarded:        res.Fabric.Forwarded,
+			Stalls:           res.Fabric.Stalls,
+			MaxQueueDepth:    res.Fabric.MaxQueueDepth,
+			DemandHits:       res.Fabric.DemandHits,
+			DemandMisses:     res.Fabric.DemandMisses,
+			PartitionFetches: res.Fabric.PartitionFetches,
+		}
 	}
 	return out
 }

@@ -1,17 +1,24 @@
 #!/bin/sh
-# Perf trajectory: run the full benchmark suite once and record the raw
-# `go test -json` stream in BENCH_engine.json at the repo root. Every PR
-# that touches a hot path should regenerate the file so regressions are
-# visible in review; BENCH_store.json follows the same convention for the
-# storage layer.
+# Perf trajectory: run a benchmark suite once and record the raw
+# `go test -json` stream in a BENCH_*.json file at the repo root. Every PR
+# that touches a hot path should regenerate the file it affects so
+# regressions are visible in review. One file per subsystem, same shape:
 #
-# Comparing BENCH files across PRs: `scripts/bench.sh extract <file>`
-# recovers the plain benchmark lines from the JSON stream in a
-# benchstat-ready shape, so two PRs diff with
+#   BENCH_engine.json   (default mode)  engine/parse/vectorize hot paths
+#   BENCH_store.json    (store mode)    segment-log replay database
+#   BENCH_serve.json    (serve mode)    crawld session multiplexing
+#   BENCH_fabric.json   (fabric mode)   partitioned intra-crawl fabric
 #
-#   scripts/bench.sh extract old/BENCH_engine.json > old.txt
-#   scripts/bench.sh extract BENCH_engine.json     > new.txt
-#   benchstat old.txt new.txt        # or: diff old.txt new.txt / grep ns/op
+# `scripts/bench.sh extract <any BENCH_*.json>` recovers the plain benchmark
+# lines from the JSON stream in a benchstat-ready shape, and
+# `scripts/bench.sh compare <old.json> <new.json>` diffs two streams in one
+# command (benchstat when installed, plain diff otherwise):
+#
+#   scripts/bench.sh extract old/BENCH_fabric.json > old.txt
+#   scripts/bench.sh extract BENCH_fabric.json     > new.txt
+#   benchstat old.txt new.txt
+#   # or, in one step:
+#   scripts/bench.sh compare old/BENCH_fabric.json BENCH_fabric.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,6 +35,36 @@ if [ "${1:-}" = "extract" ]; then
 		| sed 's/\\n/\n/g' \
 		| sed 's/\\t/\t/g; s/\\"/"/g; s/\\\\/\\/g' \
 		| grep '^Benchmark.*ns/op'
+	exit 0
+fi
+
+if [ "${1:-}" = "compare" ]; then
+	# Diff two recorded streams: extract both sides, then benchstat when
+	# available (falls back to a plain diff, which still surfaces ns/op and
+	# req/s movement line by line).
+	OLD=${2:?usage: bench.sh compare <old.json> <new.json>}
+	NEW=${3:?usage: bench.sh compare <old.json> <new.json>}
+	TMP=$(mktemp -d)
+	trap 'rm -rf "$TMP"' EXIT
+	"$0" extract "$OLD" > "$TMP/old.txt"
+	"$0" extract "$NEW" > "$TMP/new.txt"
+	if command -v benchstat >/dev/null 2>&1; then
+		benchstat "$TMP/old.txt" "$TMP/new.txt"
+	else
+		echo "benchstat not installed; falling back to diff" >&2
+		diff "$TMP/old.txt" "$TMP/new.txt" || true
+	fi
+	exit 0
+fi
+
+if [ "${1:-}" = "fabric" ]; then
+	# Partitioned-crawl trajectory: BenchmarkFabricPartitions crawls one
+	# latency-bound 8-host federation at partitions 1/2/4/8, recording req/s
+	# plus the exchange counters (forwarded URLs, stalls, max inbox depth)
+	# and the demand hit/miss split in BENCH_fabric.json.
+	OUT=${2:-BENCH_fabric.json}
+	go test -run '^$' -bench BenchmarkFabricPartitions -benchtime 3x -json . > "$OUT"
+	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
 	exit 0
 fi
 

@@ -31,6 +31,14 @@ go test -run 'Fuzz' -count=1 ./internal/dom
 # (round trip, snapshot compaction, resume/index-rebuild overhead) still
 # build and run.
 go test -run '^$' -bench 'BenchmarkStoreRoundTrip|BenchmarkStoreSnapshot|BenchmarkResumeOverhead' -benchtime 1x ./internal/store
+# Fabric smoke: the partitioned-crawl benchmark behind BENCH_fabric.json
+# still builds and runs.
+go test -run '^$' -bench 'BenchmarkFabricPartitions' -benchtime 1x .
+# Fabric determinism gate, explicitly under -race: partitioned crawls must
+# stay byte-identical to unpartitioned ones — including across a hard kill
+# and resume — while the detector watches the exchange and the shared
+# response cache.
+go test -race -run 'TestFabricEquivalence|TestFabricResumeEquivalence' -count=1 .
 # Resume determinism gate, explicitly under -race: kill-at-step-k then
 # resume over the persistent store must stay byte-identical to an
 # uninterrupted run for every strategy and prefetch width.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"sbcrawl/internal/classify"
 	"sbcrawl/internal/core"
@@ -19,6 +20,9 @@ import (
 type Site struct {
 	site   *sitegen.Site
 	server *webserver.Server
+	// fed is set instead of site/server for a multi-host federation
+	// (GenerateFederation): several member sites behind one portal.
+	fed *webserver.Federation
 	// Generation parameters, recorded so the persistent store can scope
 	// its keys to this exact site: the same (code, scale, seed) triple
 	// regenerates identical content, any other triple is a different site.
@@ -50,28 +54,102 @@ func GenerateSite(code string, scale float64, seed int64) (*Site, error) {
 	return &Site{site: site, server: webserver.New(site), code: code, scale: scale, seed: seed}, nil
 }
 
-// Root returns the site's start URL.
-func (s *Site) Root() string { return s.site.Root() }
+// GenerateFederation builds a multi-host website: one member site per code
+// (each at scale, with per-member seeds derived from seed) mounted as
+// subdomains of federation.test behind a portal page, with deterministic
+// cross-host links between members. A federation is the natural workload
+// for Config.Partitions — every host can be owned by a different fabric
+// partition — and crawls exactly like a single Site (same determinism,
+// store, and resume guarantees).
+func GenerateFederation(codes []string, scale float64, seed int64) (*Site, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("sbcrawl: federation needs at least one site code")
+	}
+	members := make([]*sitegen.Site, 0, len(codes))
+	for i, code := range codes {
+		profile, ok := sitegen.ProfileByCode(code)
+		if !ok {
+			return nil, fmt.Errorf("sbcrawl: unknown site code %q (see SiteCodes)", code)
+		}
+		members = append(members, sitegen.Generate(sitegen.Config{
+			Profile: profile, Scale: scale, Seed: seed + int64(i)*1000003,
+		}))
+	}
+	fed := webserver.NewFederation("federation.test", members)
+	return &Site{
+		fed:  fed,
+		code: "fed:" + strings.Join(codes, "+"), scale: scale, seed: seed,
+	}, nil
+}
 
-// Code returns the site's profile code.
-func (s *Site) Code() string { return s.site.Profile.Code }
+// Root returns the site's start URL (a federation's portal).
+func (s *Site) Root() string {
+	if s.fed != nil {
+		return s.fed.Root()
+	}
+	return s.site.Root()
+}
+
+// Code returns the site's profile code (a federation returns
+// "fed:<code>+<code>+…").
+func (s *Site) Code() string {
+	if s.fed != nil {
+		return s.code
+	}
+	return s.site.Profile.Code
+}
 
 // Name returns the mirrored organization's name.
-func (s *Site) Name() string { return s.site.Profile.Name }
+func (s *Site) Name() string {
+	if s.fed != nil {
+		return s.fed.String()
+	}
+	return s.site.Profile.Name
+}
 
 // TargetCount returns the number of target files the site holds — the
 // ground truth a crawl's recall is judged against.
-func (s *Site) TargetCount() int { return len(s.site.TargetURLs()) }
+func (s *Site) TargetCount() int {
+	if s.fed != nil {
+		return len(s.fed.TargetURLs())
+	}
+	return len(s.site.TargetURLs())
+}
 
 // PageCount returns the number of available (2xx) pages.
 func (s *Site) PageCount() int {
+	if s.fed != nil {
+		return s.fed.PageCount()
+	}
 	st := s.site.ComputeStats()
 	return st.Available
 }
 
 // Handler serves the site over HTTP, for crawling through the live network
-// stack (see examples/live_http).
-func (s *Site) Handler() http.Handler { return s.server.Handler() }
+// stack (see examples/live_http). Federations are in-memory only.
+func (s *Site) Handler() http.Handler {
+	if s.fed != nil {
+		return http.NotFoundHandler()
+	}
+	return s.server.Handler()
+}
+
+// lookup resolves a URL against the site's ground truth, branching between
+// the single-server and federation backends.
+func (s *Site) lookup(u string) (*sitegen.Page, bool) {
+	if s.fed != nil {
+		return s.fed.Lookup(u)
+	}
+	return s.site.Lookup(u)
+}
+
+// targetURLs lists the ground-truth targets in crawlable form.
+func (s *Site) targetURLs() []string {
+	if s.fed != nil {
+		return s.fed.TargetURLs()
+	}
+	return s.site.TargetURLs()
+}
 
 // CrawlSite runs any strategy against a simulated site, in memory, with all
 // ground truth wired for the oracle strategies. cfg.Root is ignored.
@@ -94,19 +172,23 @@ func CrawlSiteCtx(ctx context.Context, site *Site, cfg Config) (*Result, error) 
 // concurrently. A non-nil ctx cancels the crawl and interrupts simulated
 // round-trip waits promptly.
 func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
-	var fetcher fetch.Fetcher = fetch.NewSim(site.server)
+	var backend fetch.SimBackend = site.server
+	if site.fed != nil {
+		backend = site.fed
+	}
+	var fetcher fetch.Fetcher = fetch.NewSim(backend)
 	if cfg.SimLatency > 0 {
 		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency, Ctx: ctx}
 	}
 	return &core.Env{
-		Root:         site.site.Root(),
+		Root:         site.Root(),
 		Fetcher:      fetcher,
 		MaxRequests:  cfg.MaxRequests,
 		Ctx:          ctx,
 		Prefetch:     cfg.Prefetch,
 		ParseWorkers: cfg.ParseWorkers,
 		OracleClass: func(u string) int {
-			pg, ok := site.site.Lookup(u)
+			pg, ok := site.lookup(u)
 			if !ok {
 				return classify.ClassNeither
 			}
@@ -120,12 +202,12 @@ func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
 			}
 		},
 		OracleBenefit: func(u string) int {
-			pg, ok := site.site.Lookup(u)
+			pg, ok := site.lookup(u)
 			if !ok {
 				return 0
 			}
 			return len(pg.DatasetLinks)
 		},
-		OracleTargets: site.site.TargetURLs(),
+		OracleTargets: site.targetURLs(),
 	}
 }

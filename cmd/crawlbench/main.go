@@ -67,6 +67,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "append the speculation hit-rate report after the experiment (see -exp speculation)")
 		storeDir = flag.String("store", "", "persistent crawl store directory: responses spill to an append-only segment log and replay on later runs (see -exp resume)")
 		resume   = flag.Bool("resume", false, "mark the run as a continuation over -store: previously fetched responses replay from disk instead of re-fetching")
+		faults   = flag.Float64("faults", 0, "inject seeded transient faults into this fraction of URLs (chaos mode; see -exp resilience)")
+		faultSd  = flag.Int64("fault-seed", 0, "seed for the injected-fault plan (0 = -seed)")
+		retries  = flag.Int("retries", 0, "transient-failure retry budget under -faults: 0 = default, n fixes it, negative disarms retrying and the circuit breaker")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -106,6 +109,9 @@ func main() {
 		CSVDir:       *csvDir,
 		StorePath:    *storeDir,
 		Resume:       *resume,
+		FaultRate:    *faults,
+		FaultSeed:    *faultSd,
+		Retries:      *retries,
 		Out:          os.Stdout,
 	}
 	if *sites != "" {

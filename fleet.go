@@ -93,6 +93,11 @@ type FleetResult struct {
 	// MaxQueueDepth the maxima seen. Wall-clock diagnostic, like
 	// Speculation.
 	Fabric FabricStats
+	// Faults sums the fault-handling activity (retries, breaker trips,
+	// final failures) of every crawl that produced a result, with the
+	// per-site quarantined-host lists concatenated. Nil when no crawl
+	// recorded any fault.
+	Faults *FaultStats
 }
 
 // SpeculationStats reports speculative-fetch outcomes: fetches launched
@@ -387,6 +392,10 @@ func runFleet(jobs []fleet.Job, opts FleetOptions, storeStats []*StoreStats, ord
 			DemandMisses:     sum.Fabric.DemandMisses,
 			PartitionFetches: sum.Fabric.PartitionFetches,
 		},
+	}
+	if !sum.Faults.Zero() {
+		fs := convertFaultStats(sum.Faults)
+		out.Faults = &fs
 	}
 	for i, s := range sum.Sites {
 		out.Sites[i] = SiteOutcome{Index: s.Index, Label: s.Label, Err: s.Err}

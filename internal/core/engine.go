@@ -83,6 +83,23 @@ type Env struct {
 	// re-seeds its partitions from them. Pure warm-up — stale or missing
 	// snapshots cost cache misses, never correctness.
 	FabricWarm [][]byte
+	// Retry, when non-nil, interposes the deterministic retry layer below
+	// every speculation stage: transient failures (timeouts, connection
+	// resets, 429/503 answers) are re-attempted up to the policy's budget
+	// with exponential seeded-jitter backoff, honoring Retry-After. With
+	// faults that clear within the budget, results are byte-identical to a
+	// fault-free crawl; the backoff is charged virtually (FaultStats)
+	// unless the policy really sleeps. Nil runs the legacy single-attempt
+	// path.
+	Retry *fetch.RetryPolicy
+	// Breaker, when non-nil, adds the per-host circuit breaker to the
+	// demand loop: hosts whose requests keep failing after retries are
+	// quarantined (further requests fast-fail a synthetic 503 without
+	// network traffic) and probed half-open after a request-counted
+	// cooldown. Driven only by the sequential demand loop, so quarantine
+	// decisions are deterministic. Quarantined hosts surface in
+	// Result.Faults and are skipped by fabric speculation.
+	Breaker *fetch.BreakerPolicy
 	// SharedSpec, when non-nil and the crawl is pipelined, is the
 	// fleet-level shared speculation cache: speculative and demand GETs are
 	// published into it and cache misses consult it before the backend, so
@@ -211,6 +228,13 @@ type Result struct {
 	// like Spec — the counters depend on scheduling and are outside the
 	// byte-identical determinism guarantee.
 	Fabric *fabric.Stats
+	// Faults reports the robustness layer's activity — retries issued and
+	// recovered, breaker trips, quarantined hosts, budget spent on
+	// failures; nil when nothing failed (so fault-free results round-trip
+	// gob unchanged). Diagnostic only, like Spec: under recoverable faults
+	// the crawl outcome above is byte-identical to a fault-free run, and
+	// only this block differs.
+	Faults *fetch.FaultStats
 }
 
 // ActionStat summarizes one tag-path group after a crawl.
@@ -251,6 +275,10 @@ type engine struct {
 	parseHits      int
 	fabric         *fabric.Fabric // host-partitioned shards; nil unless Env.Partitions != 0
 	fabricStats    *fabric.Stats
+	retrier        *fetch.Retrier // deterministic retry layer; nil unless Env.Retry
+	breaker        *fetch.Breaker // per-host circuit breaker; nil unless Env.Breaker
+	faultStats     fetch.FaultStats
+	failedCharges  int // charged requests whose final outcome was a failure
 	rawLinks       []dom.Link // reusable raw-extraction buffer
 	specStats      *fetch.PrefetchStats
 	scope          *urlutil.Scope
@@ -281,8 +309,20 @@ func newEngine(env *Env) (*engine, error) {
 		trace:   &Trace{},
 		seen:    make(map[string]bool),
 	}
+	// The retry layer sits at the bottom of the stack, directly over
+	// Env.Fetcher (and thus over the replay database when persistence
+	// attached one): every layer above — fabric partitions, the
+	// prefetcher, the demand loop — fetches through it, so speculative
+	// caches only ever hold post-retry outcomes.
+	if env.Retry != nil && env.Fetcher != nil {
+		e.retrier = fetch.NewRetrier(env.Fetcher, *env.Retry)
+		e.fetcher = e.retrier
+	}
+	if env.Breaker != nil {
+		e.breaker = fetch.NewBreaker(*env.Breaker)
+	}
 	if env.Partitions != 0 && env.Fetcher != nil {
-		fb, err := fabric.New(env.Fetcher, fabric.Config{
+		fb, err := fabric.New(e.fetcher, fabric.Config{
 			Partitions: fabric.Resolve(env.Partitions),
 			Root:       env.Root,
 			Budget:     env.MaxRequests,
@@ -343,6 +383,16 @@ func (e *engine) close() {
 		e.parseHits = e.parse.hitCount()
 		e.parse = nil
 	}
+	if e.retrier != nil {
+		e.faultStats.Add(e.retrier.Stats())
+		e.retrier = nil
+		e.fetcher = e.env.Fetcher
+	}
+	if e.breaker != nil {
+		e.faultStats.Add(e.breaker.Stats())
+		e.breaker = nil
+	}
+	e.faultStats.FailedRequests = e.failedCharges
 }
 
 // budgetLeft reports whether another request may be issued: the budget has
@@ -365,12 +415,11 @@ func (e *engine) get(u string) (fetch.Response, bool) {
 		e.budgetExceeded = true
 		return fetch.Response{}, false
 	}
-	resp, err := e.fetcher.Get(u)
-	if err != nil {
-		// Network failure: charge the attempt, treat as a 5xx.
-		resp = fetch.Response{URL: u, Status: 599}
-	}
+	resp, failed := e.demand(u, false)
 	vol := e.meter.ChargeGet(resp)
+	if failed {
+		e.failedCharges++
+	}
 	if resp.Status == 200 && e.mimes.Contains(resp.MIME) {
 		e.targetBytes += vol
 	} else {
@@ -387,14 +436,46 @@ func (e *engine) head(u string) (fetch.Response, bool) {
 		e.budgetExceeded = true
 		return fetch.Response{}, false
 	}
-	resp, err := e.fetcher.Head(u)
-	if err != nil {
-		resp = fetch.Response{URL: u, Status: 599}
+	resp, failed := e.demand(u, true)
+	if failed {
+		e.failedCharges++
 	}
 	e.nonTargetBytes += e.meter.ChargeHead()
 	e.trace.Record(e.tcount, e.targetBytes, e.nonTargetBytes)
 	e.maybeCheckpoint()
 	return resp, true
+}
+
+// demand issues one demand-path exchange (the retry layer below has
+// already spent its attempts when it answers), consulting and feeding the
+// circuit breaker, and maps any surviving error onto the typed taxonomy's
+// synthetic response: policy refusals charge 451, exhausted transient
+// failures charge 503, anything unclassified keeps the historical 599.
+// failed reports a final failure — the charge bought no usable answer.
+func (e *engine) demand(u string, head bool) (resp fetch.Response, failed bool) {
+	if e.breaker != nil && !e.breaker.Allow(u) {
+		// Fast-fail: the host is quarantined; charge the demand without
+		// touching the network. Allow already counted the fast-fail.
+		return fetch.Response{URL: u, Status: fetch.StatusSyntheticUnavailable}, true
+	}
+	var err error
+	if head {
+		resp, err = e.fetcher.Head(u)
+	} else {
+		resp, err = e.fetcher.Get(u)
+	}
+	// Host health: transient-class outcomes are failures; real answers
+	// (404s and 500s included) and policy refusals are not.
+	if e.breaker != nil {
+		if changed := e.breaker.Observe(u, fetch.TransientResult(resp, err)); changed && e.fabric != nil {
+			e.fabric.SetQuarantined(e.breaker.Quarantined())
+		}
+	}
+	failed = err != nil || fetch.RetryableStatus(resp.Status)
+	if err != nil {
+		resp = fetch.SyntheticResponse(u, err)
+	}
+	return resp, failed
 }
 
 // maybeCheckpoint emits a durable progress record every CheckpointEvery
@@ -548,7 +629,7 @@ func mustParse(raw string) *url.URL {
 // pipeline first so no speculative fetch outlives the crawl.
 func (e *engine) result(name string, steps int) *Result {
 	e.close()
-	return &Result{
+	r := &Result{
 		Crawler:        name,
 		Trace:          e.trace,
 		Targets:        e.targets,
@@ -561,4 +642,12 @@ func (e *engine) result(name string, steps int) *Result {
 		ParseHits:      e.parseHits,
 		Fabric:         e.fabricStats,
 	}
+	// Attach fault stats only when something actually failed: a gob
+	// round trip turns a pointer-to-zero-struct into nil, so an
+	// always-present empty block would break resume equivalence.
+	if !e.faultStats.Zero() {
+		fs := e.faultStats
+		r.Faults = &fs
+	}
+	return r
 }

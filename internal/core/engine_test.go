@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"syscall"
 	"testing"
 
 	"sbcrawl/internal/fetch"
@@ -109,6 +110,92 @@ func TestFetchPageNetworkErrorBecomes5xx(t *testing.T) {
 	if eng.meter.Requests != 1 {
 		t.Error("the failed attempt must still be charged")
 	}
+}
+
+// TestFetchPageErrorTaxonomy pins the synthetic status per error class
+// (satellite of ISSUE 9): transient faults charge 503, policy refusals 451,
+// and anything unclassified keeps the historical 599 — a plain errors.New
+// (ClassUnknown) stays wire-compatible with pre-taxonomy traces, which
+// TestFetchPageNetworkErrorBecomes5xx above pins separately.
+func TestFetchPageErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"transient", syscall.ECONNRESET, 503},
+		{"policy", fetch.ErrRobotsDisallowed, 451},
+		{"permanent", context.Canceled, 599},
+		{"unknown", errors.New("mystery"), 599},
+	}
+	for _, c := range cases {
+		f := &scriptedFetcher{errs: map[string]error{"https://site.org/a": c.err}}
+		eng := newScriptedEngine(t, f)
+		pg := eng.fetchPage("https://site.org/a")
+		if pg.Status != c.want || pg.IsHTML || pg.IsTarget {
+			t.Errorf("%s: page = %+v, want synthetic status %d", c.name, pg, c.want)
+		}
+		if eng.meter.Requests != 1 {
+			t.Errorf("%s: failed attempt must be charged exactly once", c.name)
+		}
+	}
+}
+
+// TestEngineRetriesTransientFaults wires the retry policy into a scripted
+// engine: a URL that 503s twice and then serves HTML must come back as the
+// recovered page, with the fault activity surfaced in Result.Faults.
+func TestEngineRetriesTransientFaults(t *testing.T) {
+	f := &flakyScriptedFetcher{
+		failN: 2,
+		fail:  fetch.Response{Status: 503, RetryAfter: 1},
+		good:  htmlResp("https://site.org/a", `<a href="/b">x</a>`),
+	}
+	pol := fetch.DefaultRetryPolicy()
+	eng, err := newEngine(&Env{Root: "https://site.org/", Fetcher: f, Retry: &pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := eng.fetchPage("https://site.org/a")
+	if !pg.IsHTML || pg.Status != 200 {
+		t.Fatalf("retried page = %+v, want the recovered HTML", pg)
+	}
+	if eng.meter.Requests != 1 {
+		t.Errorf("retries charged %d requests, want 1 (attempts are free, the outcome is charged)", eng.meter.Requests)
+	}
+	res := eng.result("test", 1)
+	if res.Faults == nil || res.Faults.Retries != 2 || res.Faults.RetrySuccesses != 1 {
+		t.Errorf("Result.Faults = %+v, want 2 retries and 1 recovery", res.Faults)
+	}
+}
+
+// flakyScriptedFetcher fails each URL's first failN attempts with fail,
+// then serves good.
+type flakyScriptedFetcher struct {
+	failN    int
+	fail     fetch.Response
+	good     fetch.Response
+	attempts map[string]int
+}
+
+func (f *flakyScriptedFetcher) Get(url string) (fetch.Response, error) {
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	f.attempts[url]++
+	if f.attempts[url] <= f.failN {
+		r := f.fail
+		r.URL = url
+		return r, nil
+	}
+	r := f.good
+	r.URL = url
+	return r, nil
+}
+
+func (f *flakyScriptedFetcher) Head(url string) (fetch.Response, error) {
+	r, err := f.Get(url)
+	r.Body = nil
+	return r, err
 }
 
 func TestFetchPageCountsTarget(t *testing.T) {

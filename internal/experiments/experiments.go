@@ -15,6 +15,7 @@ import (
 
 	"sbcrawl/internal/classify"
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/faultsim"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/fleet"
 	"sbcrawl/internal/metrics"
@@ -71,6 +72,19 @@ type Config struct {
 	// Resume marks the run as a continuation of an earlier one over the
 	// same StorePath (diagnostic; the replay database reloads either way).
 	Resume bool
+	// FaultRate injects seeded deterministic transient faults into the
+	// fraction FaultRate of URLs on every crawl (chaos mode): faulty URLs
+	// fail their first 1–2 attempts and then recover. With the retry layer
+	// armed (Retries >= 0, the default) every report stays byte-identical
+	// to the fault-free run — the robustness claim the resilience
+	// experiment quantifies.
+	FaultRate float64
+	// FaultSeed seeds the fault plan (0 = Seed).
+	FaultSeed int64
+	// Retries < 0 disarms the retry/backoff/breaker layer, exposing every
+	// injected fault to the strategies; >= 0 arms it (0 = default budget).
+	// Only consulted when FaultRate > 0.
+	Retries int
 
 	// st is the open store handle behind StorePath (see OpenStore).
 	st *store.Store
@@ -165,6 +179,7 @@ var All = []Experiment{
 	{"ext-revisit", "Extension: incremental revisit policies (Sec. 6 future work)", RunRevisit},
 	{"speculation", "Speculative-fetch hit rates per strategy (adaptive window diagnostics)", RunSpeculation},
 	{"resume", "Kill-and-resume equivalence over the persistent store (Sec. 4.4 durable)", RunResume},
+	{"resilience", "Crawl yield under injected faults: strategies × fault rate × retry on/off", RunResilience},
 }
 
 // ByID returns the experiment with the given ID.
@@ -200,7 +215,20 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 		Seed:     cfg.Seed,
 		MaxPages: cfg.MaxPages,
 	})
-	replay := fetch.NewReplay(fetch.NewSim(webserver.New(site)))
+	var backend fetch.Fetcher = fetch.NewSim(webserver.New(site))
+	if cfg.FaultRate > 0 {
+		// Chaos mode: the injector sits below the replay cache, so only
+		// recovered (true) responses are ever recorded; transient failures
+		// fall through and burn the plan's attempt counters.
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		backend = fetch.NewFaultInjector(backend, faultsim.NewPlan(faultsim.Schedule{
+			Seed: seed, Rate: cfg.FaultRate,
+		}))
+	}
+	replay := fetch.NewReplay(backend)
 	if cfg.st != nil {
 		// Durable replay: namespace the site's responses by everything
 		// that shapes its content, so only an identical regeneration
@@ -236,6 +264,15 @@ func buildSite(cfg Config, code string) (*siteEnv, error) {
 			return len(pg.DatasetLinks)
 		},
 		OracleTargets: site.TargetURLs(),
+	}
+	if cfg.FaultRate > 0 && cfg.Retries >= 0 {
+		rp := fetch.DefaultRetryPolicy()
+		if cfg.Retries > 0 {
+			rp.MaxAttempts = cfg.Retries + 1
+		}
+		rp.Seed = cfg.Seed
+		bp := fetch.DefaultBreakerPolicy()
+		env.Retry, env.Breaker = &rp, &bp
 	}
 	se := &siteEnv{code: code, site: site, env: env, stats: site.ComputeStats()}
 

@@ -26,7 +26,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table4-theta", "table5", "table6", "fig5", "table7", "confusion",
 		"earlystop", "fig15", "searchengines",
 		"ablation-policy", "ablation-reward", "ablation-dim", "ablation-batch",
-		"ext-revisit", "speculation", "resume",
+		"ext-revisit", "speculation", "resume", "resilience",
 	}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {
@@ -279,6 +279,34 @@ func TestRunResume(t *testing.T) {
 	segs, err := filepath.Glob(filepath.Join(cfg.StorePath, "*", "*.seg"))
 	if err != nil || len(segs) == 0 {
 		t.Errorf("no segments written: %v %v", segs, err)
+	}
+}
+
+// TestRunResilience smoke-tests the robustness table: with retries on,
+// recall stays pinned to the fault-free baseline at every injected fault
+// rate, so the report must never show a retry-on row losing targets.
+func TestRunResilience(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	cfg.Sites = []string{"cl"}
+	if err := RunResilience(cfg); err != nil {
+		t.Fatalf("RunResilience: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "Resilience") {
+		t.Errorf("missing report header:\n%s", report)
+	}
+	for _, col := range []string{"rate", "retry", "recall%", "retries", "failed"} {
+		if !strings.Contains(report, col) {
+			t.Errorf("report missing column %q:\n%s", col, report)
+		}
+	}
+	// Retry-on rows must show full recall (the convergence property); the
+	// retry-off 20% row should visibly lose targets on any non-trivial site.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, " on ") && !strings.Contains(line, "100.0%") {
+			t.Errorf("retry-on row lost targets: %s", line)
+		}
 	}
 }
 

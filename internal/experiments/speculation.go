@@ -33,6 +33,7 @@ func RunSpeculation(cfg Config) error {
 		requests int
 		spec     fetch.PrefetchStats
 		fab      *fabric.Stats
+		faults   *fetch.FaultStats
 	}
 	type siteRows struct {
 		code string
@@ -50,14 +51,27 @@ func RunSpeculation(cfg Config) error {
 			core.NewRandom(cfg.Seed),
 		}
 		for _, c := range crawlers {
-			res, err := c.Run(se.env)
+			// Faulted runs get a fresh injector-backed env per crawler:
+			// the shared site env's replay cache was warmed fault-free by
+			// the reference crawl, so faults would never fire through it,
+			// and fresh fault plans keep attempt counters from leaking
+			// between crawlers.
+			env := se.env
+			if cfg.FaultRate > 0 {
+				env = faultEnv(se, cfg, cfg.FaultRate, cfg.Retries >= 0)
+			}
+			res, err := c.Run(env)
 			if err != nil {
 				return siteRows{}, fmt.Errorf("%s on %s: %w", c.Name(), code, err)
 			}
-			if res.Spec == nil {
+			if res.Spec == nil && res.Faults == nil {
 				continue
 			}
-			out.rows = append(out.rows, row{crawler: c.Name(), requests: res.Requests, spec: *res.Spec, fab: res.Fabric})
+			r := row{crawler: c.Name(), requests: res.Requests, fab: res.Fabric, faults: res.Faults}
+			if res.Spec != nil {
+				r.spec = *res.Spec
+			}
+			out.rows = append(out.rows, r)
 		}
 		return out, nil
 	})
@@ -78,6 +92,30 @@ func RunSpeculation(cfg Config) error {
 			fmt.Fprintf(cfg.Out, "%-5s %-14s %9d %9d %6d %6d %7d %9d %5.1f%%\n",
 				sr.code, r.crawler, r.requests, sp.Launched, sp.Hits, sp.Misses,
 				sp.Evicted, sp.HeadHits, 100*sp.HitRate())
+		}
+	}
+	anyFaults := false
+	for _, sr := range results {
+		for _, r := range sr.rows {
+			if r.faults != nil {
+				anyFaults = true
+			}
+		}
+	}
+	if anyFaults {
+		fmt.Fprintf(cfg.Out, "\nFault handling (retry/backoff/breaker activity)\n")
+		fmt.Fprintf(cfg.Out, "%-5s %-14s %8s %9s %9s %7s %6s %9s  %s\n",
+			"site", "crawler", "retries", "recovered", "exhausted", "failed", "trips", "fastfails", "quarantined")
+		for _, sr := range results {
+			for _, r := range sr.rows {
+				if r.faults == nil {
+					continue
+				}
+				fs := r.faults
+				fmt.Fprintf(cfg.Out, "%-5s %-14s %8d %9d %9d %7d %6d %9d  %v\n",
+					sr.code, r.crawler, fs.Retries, fs.RetrySuccesses, fs.Exhausted,
+					fs.FailedRequests, fs.BreakerTrips, fs.BreakerFastFails, fs.QuarantinedHosts)
+			}
 		}
 	}
 	if cfg.Partitions != 0 {

@@ -28,6 +28,8 @@ import (
 	"hash/fnv"
 	"net/url"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -135,6 +137,13 @@ type Fabric struct {
 	mu     sync.Mutex
 	demHit int
 	demMis int
+
+	// qmu guards quarantine, the avoid-set of degraded hosts (normalized
+	// host identities) the engine's circuit breaker has quarantined.
+	// Partitions skip speculating on them — pure warm-up economics, never
+	// correctness: the demand path alone decides what a crawl returns.
+	qmu        sync.RWMutex
+	quarantine map[string]bool
 }
 
 // New builds a fabric over backend. Call Start to launch the partition
@@ -236,21 +245,24 @@ func (f *Fabric) Start() {
 // them, so the wait is bounded) and falls through to the backend otherwise.
 func (f *Fabric) Get(u string) (fetch.Response, error) {
 	f.led.tick(f.owner(u))
-	if resp, err, ok := f.cache.take(u); ok && err == nil {
+	if resp, err, ok := f.cache.take(u); ok && err == nil &&
+		!fetch.TransientResult(resp, nil) {
 		f.note(true)
 		return resp, nil
 	}
 	f.note(false)
-	// Miss: fetch it ourselves, but register the fetch in the cache first.
-	// The owner partition still holds u in its frontier (a miss means it
-	// had not started it); when it gets there it joins this entry instead
-	// of re-fetching a page the engine already consumed — a demand miss
-	// costs one fetch, not two.
+	// Miss — or a cached speculative failure, which is never served as the
+	// demand result (the fault may have been momentary; the fresh attempt
+	// below retries on its own). Register the fetch in the cache first: the
+	// owner partition still holds u in its frontier (a miss means it had
+	// not started it); when it gets there it joins this entry instead of
+	// re-fetching a page the engine already consumed — a demand miss costs
+	// one fetch, not two.
 	e, created := f.cache.begin(u)
 	if !created {
 		// A partition began fetching u between take and begin; join it.
 		<-e.done
-		if e.err == nil {
+		if e.err == nil && !fetch.TransientResult(e.resp, nil) {
 			return e.resp, nil
 		}
 		return f.backend.Get(u)
@@ -264,7 +276,8 @@ func (f *Fabric) Get(u string) (fetch.Response, error) {
 // consuming it (headers-only view), matching Prefetcher.Head semantics.
 func (f *Fabric) Head(u string) (fetch.Response, error) {
 	f.led.tick(f.owner(u))
-	if resp, err, ok := f.cache.peek(u); ok && err == nil {
+	if resp, err, ok := f.cache.peek(u); ok && err == nil &&
+		!fetch.TransientResult(resp, nil) {
 		f.note(true)
 		return headOf(resp), nil
 	}
@@ -288,6 +301,73 @@ func (f *Fabric) note(hit bool) {
 		f.demMis++
 	}
 	f.mu.Unlock()
+}
+
+// SetQuarantined replaces the degraded-host avoid set. Hosts may carry a
+// port and any case (the circuit breaker's host:port keys); each is
+// normalized onto the fabric's host identity. Partitions consult the set
+// before every speculative fetch, so an update takes effect immediately.
+func (f *Fabric) SetQuarantined(hosts []string) {
+	set := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		set[normalizeQuarantineHost(h)] = true
+	}
+	f.qmu.Lock()
+	f.quarantine = set
+	f.qmu.Unlock()
+}
+
+// addQuarantined merges restored quarantine hints (checkpoint warm-up).
+func (f *Fabric) addQuarantined(hosts []string) {
+	if len(hosts) == 0 {
+		return
+	}
+	f.qmu.Lock()
+	if f.quarantine == nil {
+		f.quarantine = make(map[string]bool, len(hosts))
+	}
+	for _, h := range hosts {
+		f.quarantine[normalizeQuarantineHost(h)] = true
+	}
+	f.qmu.Unlock()
+}
+
+// skipHost reports whether speculation on a URL is pointless because its
+// host is quarantined.
+func (f *Fabric) skipHost(raw string) bool {
+	f.qmu.RLock()
+	q := f.quarantine
+	f.qmu.RUnlock()
+	if len(q) == 0 {
+		return false
+	}
+	return q[hostKey(raw)]
+}
+
+// quarantinedHosts snapshots the avoid set for checkpoints.
+func (f *Fabric) quarantinedHosts() []string {
+	f.qmu.RLock()
+	defer f.qmu.RUnlock()
+	if len(f.quarantine) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(f.quarantine))
+	for h := range f.quarantine {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalizeQuarantineHost maps a breaker host key (host:port, any case)
+// onto the fabric's host identity (lowercased, www-stripped hostname).
+func normalizeQuarantineHost(h string) string {
+	if i := strings.LastIndexByte(h, ':'); i >= 0 && !strings.Contains(h[i+1:], "]") {
+		if _, err := strconv.Atoi(h[i+1:]); err == nil {
+			h = h[:i]
+		}
+	}
+	return urlutil.StripWWW(strings.ToLower(strings.Trim(h, "[]")))
 }
 
 // Close stops the partitions and waits for every speculative fetch to
@@ -327,15 +407,25 @@ type PartitionSnapshot struct {
 	Partition int
 	// Frontier is the partition's pending-URL queue.
 	Frontier frontier.QueueState
+	// Quarantined carries the degraded-host avoid set at checkpoint time,
+	// so a resumed crawl's partitions skip known-dead hosts from the first
+	// speculative fetch instead of rediscovering them. Warm-up only: the
+	// resumed engine's own breaker re-derives the authoritative state.
+	Quarantined []string
 }
 
-// SnapshotFrontiers serializes every partition's pending frontier, safe to
-// call while the fabric runs.
+// SnapshotFrontiers serializes every partition's pending frontier (plus the
+// breaker's quarantine set), safe to call while the fabric runs.
 func (f *Fabric) SnapshotFrontiers() [][]byte {
+	quarantined := f.quarantinedHosts()
 	out := make([][]byte, len(f.parts))
 	for i, p := range f.parts {
 		p.mu.Lock()
-		snap := PartitionSnapshot{Partition: i, Frontier: p.frontier.Snapshot()}
+		snap := PartitionSnapshot{
+			Partition:   i,
+			Frontier:    p.frontier.Snapshot(),
+			Quarantined: quarantined,
+		}
 		p.mu.Unlock()
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(snap); err == nil {
@@ -357,6 +447,7 @@ func (f *Fabric) restore(blob []byte) {
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
 		return
 	}
+	f.addQuarantined(snap.Quarantined)
 	for _, u := range snap.Frontier.Items {
 		f.seed(u)
 	}

@@ -118,13 +118,40 @@ func (p *partition) run() {
 			}
 			continue
 		}
-		p.pf.Hint(hints...)
+		// Skip quarantined hosts entirely: speculating on a host the
+		// breaker wrote off burns ledger credit on guaranteed failures.
+		// The demand path still decides the URL's fate — skipping only
+		// costs a cache miss if the breaker recovers the host later.
+		if p.f.skipHost(u) {
+			continue
+		}
+		if live := hintsSansQuarantined(p.f, hints); len(live) > 0 {
+			p.pf.Hint(live...)
+		}
 		resp, err := p.pf.Get(u)
 		if err != nil {
 			continue // fabric closing, or a backend error the engine re-sees
 		}
 		p.ingest(u, resp)
 	}
+}
+
+// hintsSansQuarantined filters speculative hints down to live hosts. The
+// common case (no quarantine) returns the slice untouched.
+func hintsSansQuarantined(f *Fabric, hints []string) []string {
+	f.qmu.RLock()
+	n := len(f.quarantine)
+	f.qmu.RUnlock()
+	if n == 0 {
+		return hints
+	}
+	live := hints[:0]
+	for _, h := range hints {
+		if !f.skipHost(h) {
+			live = append(live, h)
+		}
+	}
+	return live
 }
 
 // receive admits forwarded URLs as they arrive, waking the loop if it is

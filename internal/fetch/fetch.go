@@ -22,6 +22,9 @@ type Response struct {
 	Body          []byte
 	ContentLength int
 	Interrupted   bool
+	// RetryAfter is the Retry-After header in seconds (0 when absent),
+	// sent with 503/429 answers; the retry layer honors it.
+	RetryAfter int
 }
 
 // Fetcher issues HTTP requests. Implementations must be safe for concurrent
@@ -92,6 +95,7 @@ func fromServer(r webserver.Response) Response {
 		Location:      r.Location,
 		Body:          r.Body,
 		ContentLength: r.ContentLength,
+		RetryAfter:    r.RetryAfter,
 	}
 }
 

@@ -299,7 +299,9 @@ func (p *Prefetcher) fetch(u string, head bool, s *speculative) {
 	shared := p.shared
 	onComplete := p.onComplete
 	p.mu.Unlock()
-	if shared != nil && !head && s.err == nil {
+	// Failures never enter the fleet-shared cache: a momentary 503 must
+	// not be replayed to other crawls as the page's truth.
+	if shared != nil && !head && s.err == nil && !TransientResult(s.resp, s.err) {
 		shared.Publish(u, s.resp)
 	}
 	if onComplete != nil && !head && s.err == nil {
@@ -321,7 +323,13 @@ func (p *Prefetcher) Get(u string) (Response, error) {
 		p.stats.Hits++
 		p.mu.Unlock()
 		<-s.done
-		return s.resp, s.err
+		if !TransientResult(s.resp, s.err) {
+			return s.resp, s.err
+		}
+		// Never serve a speculative failure as the demand result: the
+		// fault may have been momentary, so the demand path gets a fresh
+		// attempt (which retries on its own below this layer).
+		return p.backend.Get(u)
 	}
 	if p.shared != nil {
 		if resp, ok := p.shared.Lookup(u); ok {
@@ -336,7 +344,7 @@ func (p *Prefetcher) Get(u string) (Response, error) {
 	shared := p.shared
 	p.mu.Unlock()
 	resp, err := p.backend.Get(u)
-	if shared != nil && err == nil {
+	if shared != nil && err == nil && !TransientResult(resp, err) {
 		shared.Publish(u, resp)
 	}
 	return resp, err
@@ -355,15 +363,19 @@ func (p *Prefetcher) Head(u string) (Response, error) {
 		p.spent[hk] = struct{}{}
 		p.mu.Unlock()
 		<-s.done
-		if s.err == nil {
-			p.countHeadHit()
+		if !TransientResult(s.resp, s.err) {
+			if s.err == nil {
+				p.countHeadHit()
+			}
+			return s.resp, s.err
 		}
-		return s.resp, s.err
+		// A speculative HEAD failure is not a demand answer (see Get).
+		return p.backend.Head(u)
 	}
 	if s := p.store[u]; s != nil {
 		p.mu.Unlock()
 		<-s.done // the GET stays resident; only its headers are read
-		if s.err == nil {
+		if s.err == nil && !TransientResult(s.resp, s.err) {
 			p.countHeadHit()
 			return headOf(s.resp), nil
 		}

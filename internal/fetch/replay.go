@@ -114,7 +114,16 @@ func (r *Replay) lookup(mem map[string]Response, onDisk map[string]bool, prefix,
 // record is the single write path: memory always, the durable spill when
 // attached. The first spill error is retained (DiskErr) and the database
 // degrades to memory-only rather than failing the crawl.
+//
+// Transient and synthetic responses (429/503/599/451) are refused outright:
+// a momentary outage recorded as durable truth would replay as truth
+// forever — a resumed crawl would "see" the failure even after the host
+// recovered. The retry layer above re-attempts such responses, and only
+// the eventual real answer is stored.
 func (r *Replay) record(mem map[string]Response, onDisk map[string]bool, prefix, url string, resp Response) {
+	if UncacheableStatus(resp.Status) {
+		return
+	}
 	mem[url] = resp
 	delete(onDisk, url)
 	if r.disk == nil {

@@ -1,0 +1,204 @@
+package fetch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+)
+
+// RetryPolicy parameterizes the deterministic retry layer. The zero value
+// selects the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per request, the first
+	// included (0 → 4, i.e. three retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff (0 → 100ms); each further
+	// retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single backoff, Retry-After included (0 → 5s).
+	MaxBackoff time.Duration
+	// Seed drives the deterministic backoff jitter: the same (seed, URL,
+	// attempt) always waits the same.
+	Seed int64
+	// Sleep, when non-nil, really waits out each backoff (live crawls:
+	// time.Sleep). When nil the backoff is charged virtually — accumulated
+	// in FaultStats.BackoffWait without wall-clock waiting — which keeps
+	// simulated crawls fast and their results byte-identical.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy a zero RetryPolicy resolves to.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// FaultStats aggregates the robustness layer's activity over one crawl (or
+// summed over a fleet): what failed, what retrying recovered, and what the
+// circuit breaker wrote off. Diagnostic only — the counters never feed back
+// into crawl decisions, so they sit outside the byte-identical determinism
+// guarantee the retry layer itself upholds.
+type FaultStats struct {
+	// Retries counts re-attempts issued after a transient failure.
+	Retries int
+	// RetrySuccesses counts requests that failed at least once and then
+	// succeeded within the attempt budget.
+	RetrySuccesses int
+	// Exhausted counts requests still failing after every attempt.
+	Exhausted int
+	// BackoffWait is the total backoff charged between attempts. Virtual
+	// (accumulated, not slept) unless the policy really sleeps.
+	BackoffWait time.Duration
+	// BreakerTrips counts host circuit-breaker openings (re-openings after
+	// a failed half-open probe included).
+	BreakerTrips int
+	// BreakerFastFails counts demand requests answered by an open breaker
+	// without touching the network.
+	BreakerFastFails int
+	// FailedRequests counts charged requests whose final outcome was a
+	// failure (synthetic response), fast-fails included — the budget the
+	// crawl spent on faults.
+	FailedRequests int
+	// QuarantinedHosts lists hosts whose breaker was open when the crawl
+	// ended, i.e. hosts the crawl finished degraded without.
+	QuarantinedHosts []string
+}
+
+// Zero reports an all-empty stats block (such a block is left off results
+// entirely, keeping fault-free runs byte-identical to pre-fault builds).
+func (s FaultStats) Zero() bool {
+	return s.Retries == 0 && s.RetrySuccesses == 0 && s.Exhausted == 0 &&
+		s.BackoffWait == 0 && s.BreakerTrips == 0 && s.BreakerFastFails == 0 &&
+		s.FailedRequests == 0 && len(s.QuarantinedHosts) == 0
+}
+
+// Add accumulates another crawl's stats (fleet aggregation).
+func (s *FaultStats) Add(o FaultStats) {
+	s.Retries += o.Retries
+	s.RetrySuccesses += o.RetrySuccesses
+	s.Exhausted += o.Exhausted
+	s.BackoffWait += o.BackoffWait
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerFastFails += o.BreakerFastFails
+	s.FailedRequests += o.FailedRequests
+	s.QuarantinedHosts = append(s.QuarantinedHosts, o.QuarantinedHosts...)
+}
+
+// Retrier wraps a Fetcher with the deterministic retry policy: transient
+// failures (ClassTransient errors, 429/503 answers) are re-attempted up to
+// the policy's budget, spaced by exponential backoff with seeded jitter,
+// honoring Retry-After when the server sent one. Non-transient outcomes
+// pass through untouched on the first attempt.
+//
+// Determinism: retrying only ever replaces a transient failure with a later
+// attempt's outcome. Against a backend whose faults eventually clear within
+// the attempt budget, every Get/Head converges to the fault-free response —
+// which is why crawls under transient faults stay byte-identical to
+// fault-free crawls. A Retrier is safe for concurrent use (speculation
+// layers retry through it too).
+type Retrier struct {
+	backend Fetcher
+	pol     RetryPolicy
+
+	mu    sync.Mutex
+	stats FaultStats
+}
+
+// NewRetrier wraps backend with pol (zero fields take defaults).
+func NewRetrier(backend Fetcher, pol RetryPolicy) *Retrier {
+	return &Retrier{backend: backend, pol: pol.withDefaults()}
+}
+
+// Get implements Fetcher.
+func (r *Retrier) Get(u string) (Response, error) { return r.do(u, false) }
+
+// Head implements Fetcher.
+func (r *Retrier) Head(u string) (Response, error) { return r.do(u, true) }
+
+func (r *Retrier) do(u string, head bool) (Response, error) {
+	var resp Response
+	var err error
+	for attempt := 1; ; attempt++ {
+		if head {
+			resp, err = r.backend.Head(u)
+		} else {
+			resp, err = r.backend.Get(u)
+		}
+		if !TransientResult(resp, err) {
+			if attempt > 1 {
+				r.note(func(s *FaultStats) { s.RetrySuccesses++ })
+			}
+			return resp, err
+		}
+		if attempt >= r.pol.MaxAttempts {
+			r.note(func(s *FaultStats) { s.Exhausted++ })
+			return resp, err
+		}
+		wait := r.backoff(u, attempt, resp.RetryAfter)
+		r.note(func(s *FaultStats) {
+			s.Retries++
+			s.BackoffWait += wait
+		})
+		if r.pol.Sleep != nil {
+			r.pol.Sleep(wait)
+		}
+	}
+}
+
+// backoff computes the wait before retry #attempt of u: exponential from
+// BaseBackoff with deterministic jitter in [0, step/2), raised to the
+// server's Retry-After when larger, capped at MaxBackoff.
+func (r *Retrier) backoff(u string, attempt, retryAfterSec int) time.Duration {
+	step := r.pol.BaseBackoff << (attempt - 1)
+	if step <= 0 || step > r.pol.MaxBackoff { // shift overflow guard
+		step = r.pol.MaxBackoff
+	}
+	if half := step / 2; half > 0 {
+		step += time.Duration(jitterHash(r.pol.Seed, u, attempt) % uint64(half))
+	}
+	if ra := time.Duration(retryAfterSec) * time.Second; ra > step {
+		step = ra
+	}
+	if step > r.pol.MaxBackoff {
+		step = r.pol.MaxBackoff
+	}
+	return step
+}
+
+func jitterHash(seed int64, u string, attempt int) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(attempt))
+	h.Write(b[:])
+	io.WriteString(h, u)
+	return h.Sum64()
+}
+
+func (r *Retrier) note(fn func(*FaultStats)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}
+
+// Stats snapshots the retry counters accumulated so far.
+func (r *Retrier) Stats() FaultStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

@@ -1,0 +1,316 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyFetcher fails each URL's first failN attempts with fail (an error or
+// a status response), then answers 200. Concurrency-safe.
+type flakyFetcher struct {
+	mu       sync.Mutex
+	failN    int
+	failErr  error
+	failResp *Response
+	attempts map[string]int
+}
+
+func newFlakyFetcher(failN int, failErr error, failResp *Response) *flakyFetcher {
+	return &flakyFetcher{failN: failN, failErr: failErr, failResp: failResp, attempts: make(map[string]int)}
+}
+
+func (f *flakyFetcher) attempt(u string) (Response, error) {
+	f.mu.Lock()
+	f.attempts[u]++
+	n := f.attempts[u]
+	f.mu.Unlock()
+	if n <= f.failN {
+		if f.failErr != nil {
+			return Response{}, f.failErr
+		}
+		r := *f.failResp
+		r.URL = u
+		return r, nil
+	}
+	return Response{URL: u, Status: 200, MIME: "text/html", Body: []byte(u)}, nil
+}
+
+func (f *flakyFetcher) Get(u string) (Response, error)  { return f.attempt(u) }
+func (f *flakyFetcher) Head(u string) (Response, error) { return f.attempt(u) }
+
+func (f *flakyFetcher) count(u string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts[u]
+}
+
+// timeoutErr implements net.Error with Timeout() == true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ClassUnknown},
+		{"conn reset", syscall.ECONNRESET, ClassTransient},
+		{"conn refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), ClassTransient},
+		{"broken pipe", syscall.EPIPE, ClassTransient},
+		{"deadline (io)", errors.New("x"), ClassUnknown},
+		{"truncated body", io.ErrUnexpectedEOF, ClassTransient},
+		{"net timeout", timeoutErr{}, ClassTransient},
+		{"wrapped net timeout", &net.OpError{Op: "read", Err: timeoutErr{}}, ClassTransient},
+		{"ctx canceled", context.Canceled, ClassPermanent},
+		{"ctx deadline", context.DeadlineExceeded, ClassPermanent},
+		{"robots", ErrRobotsDisallowed, ClassPolicy},
+		{"wrapped robots", fmt.Errorf("gate: %w", ErrRobotsDisallowed), ClassPolicy},
+		{"unknown", errors.New("weird"), ClassUnknown},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.err); got != c.want {
+			t.Errorf("%s: ClassifyError = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClassifyDeadlinePermanentBeforeNetError pins a classification trap:
+// context.DeadlineExceeded implements net.Error with Timeout() == true, but
+// it signals crawl cancellation and must classify permanent — a cancelled
+// crawl retrying its way past its own deadline would never wind down.
+func TestClassifyDeadlinePermanentBeforeNetError(t *testing.T) {
+	var nerr net.Error
+	if !errors.As(context.DeadlineExceeded, &nerr) || !nerr.Timeout() {
+		t.Skip("platform's context.DeadlineExceeded is not a net.Error; trap not present")
+	}
+	if got := ClassifyError(context.DeadlineExceeded); got != ClassPermanent {
+		t.Errorf("DeadlineExceeded classified %v, want permanent", got)
+	}
+}
+
+func TestSyntheticResponsePerClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrRobotsDisallowed, StatusSyntheticPolicy},
+		{syscall.ECONNRESET, StatusSyntheticUnavailable},
+		{context.Canceled, StatusSyntheticFailure},
+		{errors.New("unclassified"), StatusSyntheticFailure},
+	}
+	for _, c := range cases {
+		resp := SyntheticResponse("https://x.org/a", c.err)
+		if resp.Status != c.want || resp.URL != "https://x.org/a" {
+			t.Errorf("SyntheticResponse(%v) = %+v, want status %d", c.err, resp, c.want)
+		}
+	}
+}
+
+func TestStatusPredicates(t *testing.T) {
+	for _, s := range []int{429, 503} {
+		if !RetryableStatus(s) || !UncacheableStatus(s) {
+			t.Errorf("status %d must be retryable and uncacheable", s)
+		}
+	}
+	for _, s := range []int{StatusSyntheticFailure, StatusSyntheticPolicy} {
+		if RetryableStatus(s) {
+			t.Errorf("synthetic status %d must not be retried", s)
+		}
+		if !UncacheableStatus(s) {
+			t.Errorf("synthetic status %d must not be recorded", s)
+		}
+	}
+	// Legitimate server answers — including real error pages — are neither.
+	for _, s := range []int{200, 301, 404, 500} {
+		if RetryableStatus(s) || UncacheableStatus(s) {
+			t.Errorf("status %d is a real answer: not retryable, recordable", s)
+		}
+	}
+	if !TransientResult(Response{Status: 503}, nil) {
+		t.Error("503 answer must be a transient result")
+	}
+	if TransientResult(Response{}, context.Canceled) {
+		t.Error("cancellation must not be a transient result")
+	}
+	if !TransientResult(Response{}, syscall.ECONNRESET) {
+		t.Error("connection reset must be a transient result")
+	}
+}
+
+func TestRetrierConvergesOnTransientFailure(t *testing.T) {
+	f := newFlakyFetcher(2, nil, &Response{Status: 503, RetryAfter: 1})
+	r := NewRetrier(f, RetryPolicy{MaxAttempts: 4})
+	resp, err := r.Get("https://x.org/a")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("Get = %+v, %v; want the recovered 200", resp, err)
+	}
+	if n := f.count("https://x.org/a"); n != 3 {
+		t.Errorf("backend saw %d attempts, want 3", n)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.RetrySuccesses != 1 || st.Exhausted != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 1 success, 0 exhausted", st)
+	}
+	// Retry-After of 1s beats the 100ms/200ms exponential steps, and the
+	// backoff is virtual (Sleep nil): charged, not slept.
+	if st.BackoffWait < 2*time.Second {
+		t.Errorf("BackoffWait = %v, want >= 2s (two Retry-After waits)", st.BackoffWait)
+	}
+}
+
+func TestRetrierConvergesOnTransportError(t *testing.T) {
+	f := newFlakyFetcher(1, syscall.ECONNRESET, nil)
+	r := NewRetrier(f, RetryPolicy{})
+	resp, err := r.Get("https://x.org/a")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("Get = %+v, %v; want recovery after one reset", resp, err)
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	f := newFlakyFetcher(100, nil, &Response{Status: 503})
+	r := NewRetrier(f, RetryPolicy{MaxAttempts: 3})
+	resp, err := r.Get("https://x.org/a")
+	if err != nil || resp.Status != 503 {
+		t.Fatalf("Get = %+v, %v; want the final 503 surfaced", resp, err)
+	}
+	if n := f.count("https://x.org/a"); n != 3 {
+		t.Errorf("backend saw %d attempts, want exactly MaxAttempts=3", n)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Exhausted != 1 || st.RetrySuccesses != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 1 exhausted", st)
+	}
+}
+
+func TestRetrierPassesThroughNonTransient(t *testing.T) {
+	// Real error pages are answers, not faults.
+	for _, status := range []int{404, 500, 301} {
+		f := newFlakyFetcher(100, nil, &Response{Status: status})
+		r := NewRetrier(f, RetryPolicy{})
+		resp, err := r.Get("https://x.org/a")
+		if err != nil || resp.Status != status {
+			t.Fatalf("status %d: Get = %+v, %v", status, resp, err)
+		}
+		if n := f.count("https://x.org/a"); n != 1 {
+			t.Errorf("status %d burned %d attempts, want 1", status, n)
+		}
+	}
+	// Permanent errors are never retried.
+	f := newFlakyFetcher(100, context.Canceled, nil)
+	r := NewRetrier(f, RetryPolicy{})
+	if _, err := r.Get("https://x.org/a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not surfaced: %v", err)
+	}
+	if n := f.count("https://x.org/a"); n != 1 {
+		t.Errorf("cancellation burned %d attempts, want 1", n)
+	}
+	if st := r.Stats(); !st.Zero() {
+		t.Errorf("pass-through recorded stats: %+v", st)
+	}
+}
+
+func TestRetrierBackoffDeterministic(t *testing.T) {
+	mk := func() *Retrier {
+		f := newFlakyFetcher(2, nil, &Response{Status: 429})
+		return NewRetrier(f, RetryPolicy{Seed: 42})
+	}
+	a, b := mk(), mk()
+	if _, err := a.Get("https://x.org/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("https://x.org/a"); err != nil {
+		t.Fatal(err)
+	}
+	if aw, bw := a.Stats().BackoffWait, b.Stats().BackoffWait; aw != bw || aw == 0 {
+		t.Errorf("same seed, same URL: backoff %v vs %v, want equal and non-zero", aw, bw)
+	}
+	// Exponential shape with jitter in [step, 1.5*step).
+	r := mk()
+	w1 := r.backoff("https://x.org/a", 1, 0)
+	w2 := r.backoff("https://x.org/a", 2, 0)
+	if w1 < 100*time.Millisecond || w1 >= 150*time.Millisecond {
+		t.Errorf("attempt-1 backoff %v outside [100ms, 150ms)", w1)
+	}
+	if w2 < 200*time.Millisecond || w2 >= 300*time.Millisecond {
+		t.Errorf("attempt-2 backoff %v outside [200ms, 300ms)", w2)
+	}
+	// Retry-After dominates when larger; MaxBackoff caps everything.
+	if w := r.backoff("https://x.org/a", 1, 2); w != 2*time.Second {
+		t.Errorf("Retry-After=2s backoff = %v, want 2s", w)
+	}
+	if w := r.backoff("https://x.org/a", 1, 3600); w != 5*time.Second {
+		t.Errorf("Retry-After=1h backoff = %v, want the 5s cap", w)
+	}
+}
+
+func TestRetrierRealSleepSeam(t *testing.T) {
+	var slept []time.Duration
+	f := newFlakyFetcher(1, nil, &Response{Status: 503})
+	r := NewRetrier(f, RetryPolicy{Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	if _, err := r.Get("https://x.org/a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] == 0 {
+		t.Errorf("live policy slept %v, want one real backoff", slept)
+	}
+	if st := r.Stats(); st.BackoffWait != slept[0] {
+		t.Errorf("BackoffWait %v != slept %v", st.BackoffWait, slept[0])
+	}
+}
+
+// TestReplayNeverRecordsTransient is the replay-poisoning regression
+// (satellite 1): a 503 must not be recorded as durable truth — the next
+// lookup goes back to the backend and the recovered 200 is what persists.
+func TestReplayNeverRecordsTransient(t *testing.T) {
+	f := newFlakyFetcher(1, nil, &Response{Status: 503})
+	replay := NewReplay(f)
+	resp, err := replay.Get("https://x.org/a")
+	if err != nil || resp.Status != 503 {
+		t.Fatalf("first Get = %+v, %v; want the 503 surfaced", resp, err)
+	}
+	resp, err = replay.Get("https://x.org/a")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("second Get = %+v, %v; want a fresh backend attempt, not the replayed 503", resp, err)
+	}
+	if _, err := replay.Get("https://x.org/a"); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.count("https://x.org/a"); n != 2 {
+		t.Errorf("backend saw %d attempts, want 2 (the 200 replays from then on)", n)
+	}
+}
+
+// TestRetrierOverReplayRecordsRecovery pins the production stack order
+// (Retrier above Replay above the network): a URL that fails then recovers
+// within one retry loop leaves only the recovered truth in the database, so
+// a resumed crawl replays the success.
+func TestRetrierOverReplayRecordsRecovery(t *testing.T) {
+	f := newFlakyFetcher(2, nil, &Response{Status: 503})
+	replay := NewReplay(f)
+	r := NewRetrier(replay, RetryPolicy{})
+	resp, err := r.Get("https://x.org/a")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("Get = %+v, %v; want recovery", resp, err)
+	}
+	// The "resumed" lookup: served from the database, no backend traffic.
+	before := f.count("https://x.org/a")
+	resp, err = replay.Get("https://x.org/a")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("replayed Get = %+v, %v", resp, err)
+	}
+	if after := f.count("https://x.org/a"); after != before {
+		t.Errorf("resume lookup hit the backend (%d -> %d attempts): success was not recorded", before, after)
+	}
+}

@@ -101,6 +101,10 @@ type Summary struct {
 	// fetch counts, and the maximum partition count and queue depth seen.
 	// Wall-clock diagnostic only, like Spec.
 	Fabric fabric.Stats
+	// Faults sums the fault-handling counters (retries, breaker activity,
+	// final failures) of every crawl that produced a result; quarantined
+	// host lists are concatenated. Zero when nothing failed anywhere.
+	Faults fetch.FaultStats
 }
 
 // errNotRun marks jobs the pool never dispatched (context cancelled first).
@@ -186,6 +190,9 @@ func Run(jobs []Job, opts Options) (*Summary, error) {
 				for i, n := range fb.PartitionFetches {
 					sum.Fabric.PartitionFetches[i] += n
 				}
+			}
+			if fs := s.Result.Faults; fs != nil {
+				sum.Faults.Add(*fs)
 			}
 		}
 	}

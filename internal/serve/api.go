@@ -76,6 +76,15 @@ type CrawlSpec struct {
 	ClassifierModel string        `json:"classifier_model,omitempty"`
 	UserAgent       string        `json:"user_agent,omitempty"`
 	CheckpointEvery int           `json:"checkpoint_every,omitempty"`
+	// Retries is the transient-failure retry budget (sbcrawl.Config.Retries:
+	// 0 → default budget, -1 → retries and breaker off).
+	Retries int `json:"retries,omitempty"`
+	// FaultRate / FaultSeed / FaultDeadHosts inject seeded deterministic
+	// faults into simulated units (ignored by live roots) — the service form
+	// of the fault-injection harness, for chaos-testing a session.
+	FaultRate      float64  `json:"fault_rate,omitempty"`
+	FaultSeed      int64    `json:"fault_seed,omitempty"`
+	FaultDeadHosts []string `json:"fault_dead_hosts,omitempty"`
 }
 
 // config maps the spec onto a Config. The daemon fills in the store, the
@@ -99,6 +108,10 @@ func (c CrawlSpec) config() sbcrawl.Config {
 		ClassifierModel: c.ClassifierModel,
 		UserAgent:       c.UserAgent,
 		CheckpointEvery: c.CheckpointEvery,
+		Retries:         c.Retries,
+		FaultRate:       c.FaultRate,
+		FaultSeed:       c.FaultSeed,
+		FaultDeadHosts:  c.FaultDeadHosts,
 	}
 }
 
@@ -126,6 +139,10 @@ type SessionStatus struct {
 	// for crawls in flight, final tallies for finished ones.
 	Requests int `json:"requests"`
 	Targets  int `json:"targets"`
+	// Faults sums the fault-handling activity (retries, breaker trips,
+	// failed requests, quarantined hosts) of the session's finished units.
+	// Nil while no finished unit has recorded a fault.
+	Faults *sbcrawl.FaultStats `json:"faults,omitempty"`
 	// Seq is the change sequence for long-polling (GET ?seq=N&wait=5s).
 	Seq uint64 `json:"seq"`
 	// Results holds finished units in unit order; nil entries are still

@@ -158,6 +158,17 @@ func (s *session) status(withResults bool) SessionStatus {
 		st.Requests += p.Requests
 		st.Targets += p.Targets
 	}
+	// Fault activity is known only for finished units (running crawls
+	// report it with their final Result).
+	for _, ur := range s.results {
+		if ur == nil || ur.Result == nil || ur.Result.Faults == nil {
+			continue
+		}
+		if st.Faults == nil {
+			st.Faults = &sbcrawl.FaultStats{}
+		}
+		addFaults(st.Faults, ur.Result.Faults)
+	}
 	if withResults {
 		st.Results = make([]UnitResult, len(s.results))
 		for i, ur := range s.results {
@@ -169,6 +180,18 @@ func (s *session) status(withResults bool) SessionStatus {
 		}
 	}
 	return st
+}
+
+// addFaults accumulates one unit's fault counters into the session total.
+func addFaults(dst, src *sbcrawl.FaultStats) {
+	dst.Retries += src.Retries
+	dst.RetrySuccesses += src.RetrySuccesses
+	dst.Exhausted += src.Exhausted
+	dst.BackoffWait += src.BackoffWait
+	dst.BreakerTrips += src.BreakerTrips
+	dst.BreakerFastFails += src.BreakerFastFails
+	dst.FailedRequests += src.FailedRequests
+	dst.QuarantinedHosts = append(dst.QuarantinedHosts, src.QuarantinedHosts...)
 }
 
 // wait blocks until the session's seq exceeds after, the timeout elapses,

@@ -11,6 +11,8 @@
 // live HTTP (see DESIGN.md's substitution table).
 package sitegen
 
+import "sbcrawl/internal/faultsim"
+
 // Profile describes one synthetic website, with parameters lifted from
 // Table 1 (and Table 7 for SD yields) of the paper.
 type Profile struct {
@@ -56,6 +58,13 @@ type Profile struct {
 	UniqueIDs bool
 	// Languages lists the URL/text vocabularies in use.
 	Languages []string
+	// Faults, when non-nil, is the site's server-side fault schedule
+	// (faultsim.Schedule): scheduled URLs answer 503/429 with Retry-After
+	// for their first attempts before serving their real page
+	// (webserver.Flaky compiles it per crawl). Pure data — profiles stay
+	// serializable — and nil for all built-in Table 1 profiles; scenario
+	// experiments set it to stress the retry/breaker stack.
+	Faults *faultsim.Schedule
 }
 
 // Profiles are the 18 sites of Table 1, in the paper's order. Numbers are

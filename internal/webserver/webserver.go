@@ -30,6 +30,9 @@ type Response struct {
 	// ContentLength is the body size the server advertises, present even
 	// for HEAD responses.
 	ContentLength int
+	// RetryAfter is the Retry-After header in seconds for 503/429
+	// answers (0 when absent).
+	RetryAfter int
 }
 
 // HeaderOverheadBytes approximates the on-wire size of response headers; it

@@ -259,6 +259,12 @@ func cfgFingerprint(cfg Config, root string) string {
 		fmt.Sprintf("%d", cfg.BatchSize),
 		cfg.ClassifierModel,
 		strings.Join(mimes, ","),
+		// Fault/retry knobs change what a crawl can observe, so a faulted
+		// run must never satisfy a fault-free Resume (or vice versa).
+		fmt.Sprintf("%d", cfg.Retries),
+		fmt.Sprintf("%g", cfg.FaultRate),
+		fmt.Sprintf("%d", cfg.FaultSeed),
+		strings.Join(cfg.FaultDeadHosts, ","),
 	)
 }
 

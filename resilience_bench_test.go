@@ -1,0 +1,57 @@
+package sbcrawl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkResilience measures crawl throughput under injected transient
+// faults with the retry/backoff layer armed, at fault rates 0/1%/5%/20%.
+// This is the workload behind BENCH_resilience.json
+// (`scripts/bench.sh resilience`): the req/s trajectory shows what fault
+// recovery costs — each recovered fault is an extra backend round trip plus
+// a (virtually charged) backoff — while the reported counters split the
+// retry traffic into recovered, exhausted, and failed requests. At every
+// rate the crawl's Result stays byte-identical to the fault-free run (see
+// TestRetryConvergence); only the cost moves.
+func BenchmarkResilience(b *testing.B) {
+	site, err := GenerateSite("cn", 0.05, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rate := range []float64{0, 0.01, 0.05, 0.20} {
+		rate := rate
+		b.Run(fmt.Sprintf("faults=%g%%", 100*rate), func(b *testing.B) {
+			cfg := Config{
+				Strategy:  StrategyBFS,
+				Seed:      2,
+				FaultRate: rate,
+				FaultSeed: 42,
+			}
+			var requests int
+			var retries, recovered, exhausted, failed float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := CrawlSite(site, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				requests = res.Requests
+				if res.Faults != nil {
+					retries += float64(res.Faults.Retries)
+					recovered += float64(res.Faults.RetrySuccesses)
+					exhausted += float64(res.Faults.Exhausted)
+					failed += float64(res.Faults.FailedRequests)
+				}
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			perSec := float64(requests) * n / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "req/s")
+			b.ReportMetric(retries/n, "retries/crawl")
+			b.ReportMetric(recovered/n, "recovered/crawl")
+			b.ReportMetric(exhausted/n, "exhausted/crawl")
+			b.ReportMetric(failed/n, "failed/crawl")
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package sbcrawl
+
+// ISSUE 9 headline gates: the retry/backoff/breaker layer must make
+// transient faults invisible. A crawl under seeded injected faults with
+// retries enabled converges to the byte-identical Result of the fault-free
+// crawl — for all 9 strategies, sequential and partitioned — and kill+resume
+// under faults stays deterministic. The breaker gate shows the other side:
+// a permanently dead host is quarantined at bounded cost while the rest of
+// the federation completes.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripFaults clears the fault diagnostics so faulted-crawl results can be
+// compared to fault-free baselines (the crawl outcome must match byte for
+// byte; retry counters legitimately differ).
+func stripFaults(res *Result) *Result {
+	res.Faults = nil
+	return res
+}
+
+// TestRetryConvergence is the determinism gate: for every strategy, a crawl
+// under >=5% transient faults with the retry layer on returns a Result
+// byte-identical to the fault-free crawl, at partition counts 1 and 4.
+// Every injected fault recovers within the retry budget, so retrying is a
+// pure delay — never a behavior change.
+func TestRetryConvergence(t *testing.T) {
+	site, err := GenerateSite("cn", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := federationSite(t)
+	sawFaults := false
+	for _, s := range allStrategies {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			// Single-host, sequential engine.
+			cfg := Config{Strategy: s, Seed: 2}
+			baseline, err := CrawlSite(site, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcfg := cfg
+			fcfg.FaultRate = 0.10
+			fcfg.FaultSeed = 99
+			faulted, err := CrawlSite(site, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if faulted.Faults != nil && faulted.Faults.Retries > 0 {
+				sawFaults = true
+			}
+			if faulted.Faults != nil && faulted.Faults.FailedRequests > 0 {
+				t.Errorf("faults leaked past the retry budget: %+v", faulted.Faults)
+			}
+			if !reflect.DeepEqual(stripFaults(faulted), baseline) {
+				t.Errorf("faulted crawl diverged from fault-free baseline:\nbase:    req=%d targets=%d\nfaulted: req=%d targets=%d",
+					baseline.Requests, len(baseline.Targets), faulted.Requests, len(faulted.Targets))
+			}
+
+			// Multi-host, partitioned fabric: speculative partition fetches
+			// burn fault attempts concurrently; the demand loop must still
+			// converge to the same bytes.
+			fedCfg := Config{Strategy: s, Seed: 3, MaxRequests: 150}
+			fedBase, err := CrawlSite(fed, fedCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{1, 4} {
+				pcfg := fedCfg
+				pcfg.Partitions = parts
+				pcfg.FaultRate = 0.10
+				pcfg.FaultSeed = 99
+				got, err := CrawlSite(fed, pcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Faults != nil && got.Faults.Retries > 0 {
+					sawFaults = true
+				}
+				if !reflect.DeepEqual(stripFaults(stripFabric(got)), fedBase) {
+					t.Errorf("partitions=%d: faulted crawl diverged from fault-free baseline:\nbase:    req=%d targets=%d\nfaulted: req=%d targets=%d",
+						parts, fedBase.Requests, len(fedBase.Targets), got.Requests, len(got.Targets))
+				}
+			}
+		})
+	}
+	if !sawFaults {
+		t.Error("no strategy recorded any retry activity: the fault injector never fired and the gate proved nothing")
+	}
+}
+
+// TestFaultResumeEquivalence kills a faulted crawl mid-flight into a fresh
+// store and resumes it under the same fault schedule: the result must be
+// byte-identical to a never-interrupted fault-free run. Only recovered
+// (true) responses are durable, so resume replays truth and re-attempts the
+// rest through fresh retry loops.
+func TestFaultResumeEquivalence(t *testing.T) {
+	site, err := GenerateSite("cn", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{StrategyBFS, StrategySB, StrategyRandom} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			cfg := Config{Strategy: s, Seed: 2, FaultRate: 0.10, FaultSeed: 99}
+			baseline, err := CrawlSite(site, Config{Strategy: s, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			killCfg := cfg
+			killCfg.MaxRequests = 13
+			killCfg.StorePath = dir
+			if _, err := CrawlSite(site, killCfg); err != nil {
+				t.Fatal(err)
+			}
+			resCfg := cfg
+			resCfg.StorePath = dir
+			resCfg.Resume = true
+			resumed, err := CrawlSite(site, resCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Store == nil || !resumed.Store.Resumed {
+				t.Fatalf("resumed faulted crawl did not report a warm start: %+v", resumed.Store)
+			}
+			if resumed.Store.ReplayHits == 0 {
+				t.Fatal("resumed faulted crawl replayed nothing from the store")
+			}
+			if !reflect.DeepEqual(stripFaults(stripStore(resumed)), baseline) {
+				t.Errorf("resumed faulted crawl diverged from uninterrupted fault-free run:\nbase:   req=%d targets=%d\nresume: req=%d targets=%d",
+					baseline.Requests, len(baseline.Targets), resumed.Requests, len(resumed.Targets))
+			}
+		})
+	}
+}
+
+// TestFaultedStoreNeverSatisfiesFaultFreeResume pins the fingerprint
+// satellite: fault knobs are part of the done-record key, so a completed
+// faulted crawl must not short-circuit a fault-free Resume (and vice versa).
+func TestFaultedStoreNeverSatisfiesFaultFreeResume(t *testing.T) {
+	site, err := GenerateSite("cl", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := Config{Strategy: StrategyBFS, Seed: 2, StorePath: dir, FaultRate: 0.10, FaultSeed: 7}
+	if _, err := CrawlSite(site, cfg); err != nil {
+		t.Fatal(err)
+	}
+	clean := Config{Strategy: StrategyBFS, Seed: 2, StorePath: dir, Resume: true}
+	res, err := CrawlSite(site, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store != nil && res.Store.Completed {
+		t.Error("fault-free Resume was served by a faulted crawl's done-record")
+	}
+}
+
+// TestBreakerDegradesGracefully is the graceful-degradation gate: one
+// permanently dead host in an 8-host federation trips its breaker and is
+// quarantined, the other seven hosts complete in full, and the quarantine is
+// visible in Result.Faults.
+func TestBreakerDegradesGracefully(t *testing.T) {
+	codes := []string{"ce", "ab", "ju", "is", "cl", "cn", "in", "ok"}
+	fed, err := GenerateFederation(codes, 0.005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = "s3.federation.test"
+	baseline, err := CrawlSite(fed, Config{Strategy: StrategyBFS, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveTargets := 0
+	for _, u := range baseline.Targets {
+		if !strings.Contains(u, dead) {
+			liveTargets++
+		}
+	}
+	deadTargets := len(baseline.Targets) - liveTargets
+	if deadTargets == 0 {
+		t.Fatal("test setup: the dead host holds no targets, degradation would be unobservable")
+	}
+
+	res, err := CrawlSite(fed, Config{
+		Strategy: StrategyBFS, Seed: 2, FaultDeadHosts: []string{dead},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil {
+		t.Fatal("crawl with a dead host reported no fault stats")
+	}
+	if res.Faults.BreakerTrips == 0 {
+		t.Error("breaker never tripped on the dead host")
+	}
+	if res.Faults.BreakerFastFails == 0 {
+		t.Error("open breaker never fast-failed a request: the dead host kept burning retry budget")
+	}
+	found := false
+	for _, h := range res.Faults.QuarantinedHosts {
+		if strings.Contains(h, dead) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead host missing from quarantine list: %v", res.Faults.QuarantinedHosts)
+	}
+	got := 0
+	for _, u := range res.Targets {
+		if strings.Contains(u, dead) {
+			t.Errorf("impossible: target retrieved from the dead host: %s", u)
+		} else {
+			got++
+		}
+	}
+	if got != liveTargets {
+		t.Errorf("degraded crawl found %d of %d live-host targets: the dead host dragged the rest down", got, liveTargets)
+	}
+	// Bounded budget: after the trip, dead-host URLs fast-fail instead of
+	// exhausting full retry loops, so exhaustions stay below the failures.
+	if res.Faults.Exhausted >= res.Faults.FailedRequests {
+		t.Errorf("every dead-host request burned its full retry budget (exhausted=%d, failed=%d): the breaker saved nothing",
+			res.Faults.Exhausted, res.Faults.FailedRequests)
+	}
+}

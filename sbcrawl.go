@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/faultsim"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/metrics"
 	"sbcrawl/internal/urlutil"
@@ -171,6 +172,37 @@ type Config struct {
 	// site). Politeness still holds: partition fetches go through the same
 	// per-host rate limiting as every other request.
 	Partitions int
+	// Retries is the transient-failure retry budget per request: after a
+	// timeout, connection reset, truncated body, or a 429/503 answer, the
+	// request is re-attempted up to Retries times with exponential
+	// seeded-jitter backoff, honoring the server's Retry-After. 0 selects
+	// the default budget (3 retries); n > 0 sets it; RetriesOff disables
+	// retrying AND the per-host circuit breaker (the legacy single-attempt
+	// path, where any failure permanently loses the page).
+	//
+	// With retrying on, a crawl whose transient faults clear within the
+	// budget returns a byte-identical Result to a fault-free crawl — only
+	// Result.Faults differs. On simulated crawls the backoff is charged
+	// virtually (no wall-clock waiting); live crawls really sleep it.
+	// Hosts that keep failing after retries trip a circuit breaker:
+	// further requests to them fast-fail without network traffic until a
+	// cooldown admits a half-open probe, so one dead host degrades
+	// gracefully instead of consuming the crawl's budget (see
+	// Result.Faults.QuarantinedHosts).
+	Retries int
+	// FaultRate, for simulated crawls, injects seeded deterministic
+	// transient faults into the fraction FaultRate of URLs: each faulty
+	// URL fails its first 1–2 attempts (503/429 with Retry-After,
+	// connection resets, timeouts, truncated bodies) and then recovers.
+	// Reproducible from FaultSeed. Ignored by live crawls.
+	FaultRate float64
+	// FaultSeed seeds the injected-fault plan (with FaultRate or
+	// FaultDeadHosts; defaults to Seed when 0).
+	FaultSeed int64
+	// FaultDeadHosts, for simulated crawls, lists hostnames that never
+	// answer — every request fails, forever — exercising the circuit
+	// breaker's graceful degradation. Ignored by live crawls.
+	FaultDeadHosts []string
 	// ParseWorkers sizes the parallel parse stage of a pipelined crawl:
 	// completed speculative fetches with HTML bodies are tokenized and
 	// link-extracted by a bounded worker pool while the crawl loop is
@@ -260,6 +292,11 @@ const PrefetchAuto = core.PrefetchAuto
 // same.
 const PartitionsAuto = core.PartitionsAuto
 
+// RetriesOff is the Config.Retries value disabling the retry layer and the
+// per-host circuit breaker entirely (any negative value behaves the same):
+// every request gets exactly one attempt and any failure is final.
+const RetriesOff = -1
+
 // CurvePoint is one sample of a crawl's progress curve.
 type CurvePoint struct {
 	Requests       int
@@ -293,6 +330,39 @@ type Result struct {
 	// Config.Partitions was 0. Diagnostic only, like Store: the counters
 	// depend on scheduling, never the crawl outcome above.
 	Fabric *FabricStats
+	// Faults reports the robustness layer's activity — retries issued and
+	// recovered, circuit-breaker trips, quarantined hosts, budget spent on
+	// failures; nil when nothing failed. Diagnostic only: under faults
+	// that recover within the retry budget, everything above is
+	// byte-identical to a fault-free crawl and only this block differs.
+	Faults *FaultStats
+}
+
+// FaultStats reports one crawl's fault-handling activity (see
+// Config.Retries). All counters are diagnostics.
+type FaultStats struct {
+	// Retries counts re-attempts issued after transient failures.
+	Retries int
+	// RetrySuccesses counts requests that failed at least once and then
+	// succeeded within the retry budget.
+	RetrySuccesses int
+	// Exhausted counts requests still failing after every attempt.
+	Exhausted int
+	// BackoffWait is the total backoff charged between attempts (virtual
+	// on simulated crawls: accounted, not slept).
+	BackoffWait time.Duration
+	// BreakerTrips counts circuit-breaker openings (re-openings after a
+	// failed half-open probe included).
+	BreakerTrips int
+	// BreakerFastFails counts requests answered by an open breaker
+	// without touching the network.
+	BreakerFastFails int
+	// FailedRequests counts charged requests whose final outcome was a
+	// failure — the budget the crawl spent on faults.
+	FailedRequests int
+	// QuarantinedHosts lists hosts whose breaker was still open when the
+	// crawl ended: the crawl completed degraded, without them.
+	QuarantinedHosts []string
 }
 
 // FabricStats reports one partitioned crawl's fabric activity (see
@@ -362,6 +432,7 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 	if cfg.Hosts != nil {
 		f.Registry = cfg.Hosts.reg
 	}
+	retry, breaker := retryPolicies(cfg, true)
 	return &core.Env{
 		Root:         cfg.Root,
 		Fetcher:      f,
@@ -370,6 +441,8 @@ func liveEnv(cfg Config, ctx context.Context, shared fetch.SharedStore) (*core.E
 		Prefetch:     cfg.Prefetch,
 		ParseWorkers: cfg.ParseWorkers,
 		SharedSpec:   shared,
+		Retry:        retry,
+		Breaker:      breaker,
 	}, nil
 }
 
@@ -497,7 +570,61 @@ func convertResult(res *core.Result) *Result {
 			PartitionFetches: res.Fabric.PartitionFetches,
 		}
 	}
+	if res.Faults != nil {
+		fs := convertFaultStats(*res.Faults)
+		out.Faults = &fs
+	}
 	return out
+}
+
+// convertFaultStats maps the internal fault counters onto the public type.
+func convertFaultStats(fs fetch.FaultStats) FaultStats {
+	return FaultStats{
+		Retries:          fs.Retries,
+		RetrySuccesses:   fs.RetrySuccesses,
+		Exhausted:        fs.Exhausted,
+		BackoffWait:      fs.BackoffWait,
+		BreakerTrips:     fs.BreakerTrips,
+		BreakerFastFails: fs.BreakerFastFails,
+		FailedRequests:   fs.FailedRequests,
+		QuarantinedHosts: fs.QuarantinedHosts,
+	}
+}
+
+// retryPolicies maps Config.Retries onto the engine's retry and breaker
+// policies. live selects real backoff sleeps; simulated crawls charge the
+// backoff virtually so they stay fast and deterministic.
+func retryPolicies(cfg Config, live bool) (*fetch.RetryPolicy, *fetch.BreakerPolicy) {
+	if cfg.Retries < 0 {
+		return nil, nil // RetriesOff: legacy single-attempt, no breaker
+	}
+	rp := fetch.DefaultRetryPolicy()
+	if cfg.Retries > 0 {
+		rp.MaxAttempts = cfg.Retries + 1
+	}
+	rp.Seed = cfg.Seed
+	if live {
+		rp.Sleep = time.Sleep
+	}
+	bp := fetch.DefaultBreakerPolicy()
+	return &rp, &bp
+}
+
+// faultPlan compiles the Config's injected-fault schedule, or nil when no
+// fault injection is requested.
+func faultPlan(cfg Config) *faultsim.Plan {
+	if cfg.FaultRate <= 0 && len(cfg.FaultDeadHosts) == 0 {
+		return nil
+	}
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	return faultsim.NewPlan(faultsim.Schedule{
+		Seed:      seed,
+		Rate:      cfg.FaultRate,
+		DeadHosts: cfg.FaultDeadHosts,
+	})
 }
 
 func buildCrawler(cfg Config, sitePages int) (core.Crawler, error) {

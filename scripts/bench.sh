@@ -4,10 +4,11 @@
 # that touches a hot path should regenerate the file it affects so
 # regressions are visible in review. One file per subsystem, same shape:
 #
-#   BENCH_engine.json   (default mode)  engine/parse/vectorize hot paths
-#   BENCH_store.json    (store mode)    segment-log replay database
-#   BENCH_serve.json    (serve mode)    crawld session multiplexing
-#   BENCH_fabric.json   (fabric mode)   partitioned intra-crawl fabric
+#   BENCH_engine.json     (default mode)    engine/parse/vectorize hot paths
+#   BENCH_store.json      (store mode)      segment-log replay database
+#   BENCH_serve.json      (serve mode)      crawld session multiplexing
+#   BENCH_fabric.json     (fabric mode)     partitioned intra-crawl fabric
+#   BENCH_resilience.json (resilience mode) retry layer under injected faults
 #
 # `scripts/bench.sh extract <any BENCH_*.json>` recovers the plain benchmark
 # lines from the JSON stream in a benchstat-ready shape, and
@@ -64,6 +65,19 @@ if [ "${1:-}" = "fabric" ]; then
 	# and the demand hit/miss split in BENCH_fabric.json.
 	OUT=${2:-BENCH_fabric.json}
 	go test -run '^$' -bench BenchmarkFabricPartitions -benchtime 3x -json . > "$OUT"
+	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
+	exit 0
+fi
+
+if [ "${1:-}" = "resilience" ]; then
+	# Robustness trajectory: BenchmarkResilience crawls one medium site with
+	# the retry/backoff layer armed at injected transient-fault rates
+	# 0/1%/5%/20%, recording req/s plus the retry traffic split (retries,
+	# recovered, exhausted, failed requests) in BENCH_resilience.json. The
+	# crawl result is byte-identical at every rate (TestRetryConvergence);
+	# this file records what that recovery costs.
+	OUT=${2:-BENCH_resilience.json}
+	go test -run '^$' -bench BenchmarkResilience -benchtime 3x -json . > "$OUT"
 	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
 	exit 0
 fi

@@ -48,3 +48,17 @@ go test -race -run 'TestResumeEquivalence' -count=1 .
 # layer multiplexes sessions over shared state, so race-clean is a hard
 # requirement there too.
 go test -race -run 'TestSessionLifecycle|TestServeResumeEquivalence|TestServeNoStarvation|TestSchedulerFairness' -count=1 ./internal/serve
+# Robustness gates, explicitly under -race: crawls under seeded injected
+# faults with the retry/backoff/breaker layer on must converge to the
+# byte-identical fault-free Result (all strategies, sequential and
+# partitioned), kill+resume under faults must stay deterministic, and a
+# dead host must degrade gracefully (quarantined at bounded cost while the
+# rest of the federation completes).
+go test -race -run 'TestRetryConvergence|TestFaultResumeEquivalence|TestFaultedStoreNeverSatisfiesFaultFreeResume|TestBreakerDegradesGracefully' -count=1 .
+# Fault-layer unit suite, also under -race: the error taxonomy, the
+# deterministic retrier, the circuit breaker, the replay-never-records-
+# transients invariant, and the Registry/HostLimiter fault storm.
+go test -race -run 'TestClassify|TestSynthetic|TestStatusPredicates|TestRetrier|TestReplayNeverRecordsTransient|TestBreaker|TestRegistryHostLimiterFaultStorm' -count=1 ./internal/fetch
+# Resilience-bench smoke: the workload behind BENCH_resilience.json still
+# builds and runs.
+go test -run '^$' -bench 'BenchmarkResilience' -benchtime 1x .

@@ -8,6 +8,7 @@ import (
 
 	"sbcrawl/internal/classify"
 	"sbcrawl/internal/core"
+	"sbcrawl/internal/faultsim"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/sitegen"
 	"sbcrawl/internal/webserver"
@@ -176,10 +177,21 @@ func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
 	if site.fed != nil {
 		backend = site.fed
 	}
+	// Server-side faults: a profile can carry its own fault schedule, making
+	// the simulated site itself flaky independent of the Config.
+	if site.fed == nil && site.site.Profile.Faults != nil {
+		backend = webserver.NewFlaky(backend, faultsim.NewPlan(*site.site.Profile.Faults))
+	}
 	var fetcher fetch.Fetcher = fetch.NewSim(backend)
+	// Transport-side faults: the Config's injected-fault schedule wraps the
+	// fetcher, so resets/timeouts/503s appear below the retry layer.
+	if plan := faultPlan(cfg); plan != nil {
+		fetcher = fetch.NewFaultInjector(fetcher, plan)
+	}
 	if cfg.SimLatency > 0 {
 		fetcher = &fetch.Latency{Backend: fetcher, Delay: cfg.SimLatency, Ctx: ctx}
 	}
+	retry, breaker := retryPolicies(cfg, false)
 	return &core.Env{
 		Root:         site.Root(),
 		Fetcher:      fetcher,
@@ -187,6 +199,8 @@ func siteCrawlEnv(site *Site, cfg Config, ctx context.Context) *core.Env {
 		Ctx:          ctx,
 		Prefetch:     cfg.Prefetch,
 		ParseWorkers: cfg.ParseWorkers,
+		Retry:        retry,
+		Breaker:      breaker,
 		OracleClass: func(u string) int {
 			pg, ok := site.lookup(u)
 			if !ok {

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-run bench-store bench-serve bench-fabric fleet-bench pipeline-bench speculation-bench
+.PHONY: ci build vet test race bench bench-run bench-store bench-codec bench-serve bench-fabric fleet-bench pipeline-bench speculation-bench
 
 ci: vet test race
 
@@ -46,6 +46,11 @@ speculation-bench:
 # and resume (index rebuild) overhead → BENCH_store.json.
 bench-store:
 	sh scripts/bench.sh store
+
+# The binary codec against the retained gob baseline (same recording as
+# bench-store: codec and segment log are one persistence plane).
+bench-codec:
+	sh scripts/bench.sh codec
 
 # The crawld daemon: >= 1k concurrent sessions over the HTTP API, with
 # attach/step latency percentiles → BENCH_serve.json.

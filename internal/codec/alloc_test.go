@@ -1,0 +1,63 @@
+package codec_test
+
+// Allocation gates for the codec hot path (wired into scripts/ci.sh): the
+// replay-record round trip — one AppendResponse per fetched URL on the
+// write side, one DecodeResponseInto per replay hit on the read side —
+// must allocate nothing in steady state. Encoders append into a reused
+// buffer; the decoder fills a reused struct with views aliasing the raw
+// blob.
+
+import (
+	"testing"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
+)
+
+// TestResponseEncodeAllocs: encoding into a warm reused buffer is
+// allocation-free.
+func TestResponseEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets only hold in normal builds")
+	}
+	resp := sampleResponse()
+	buf := fetch.AppendResponse(nil, &resp) // warm: size the buffer once
+	if got := testing.AllocsPerRun(200, func() {
+		buf = fetch.AppendResponse(buf[:0], &resp)
+	}); got != 0 {
+		t.Errorf("AppendResponse allocates %v per op in steady state, want 0", got)
+	}
+}
+
+// TestResponseDecodeAllocs: decoding into a reused struct is
+// allocation-free — every string and the body are views over the raw blob.
+func TestResponseDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets only hold in normal builds")
+	}
+	src := sampleResponse()
+	raw := fetch.AppendResponse(nil, &src)
+	var resp fetch.Response
+	if got := testing.AllocsPerRun(200, func() {
+		if err := fetch.DecodeResponseInto(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("DecodeResponseInto allocates %v per op in steady state, want 0", got)
+	}
+}
+
+// TestCheckpointEncodeAllocs: the checkpoint sink re-encodes into a reused
+// buffer every CheckpointEvery requests; that append must not allocate.
+func TestCheckpointEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets only hold in normal builds")
+	}
+	cp := sampleCheckpoint()
+	buf := core.AppendCheckpoint(nil, &cp)
+	if got := testing.AllocsPerRun(200, func() {
+		buf = core.AppendCheckpoint(buf[:0], &cp)
+	}); got != 0 {
+		t.Errorf("AppendCheckpoint allocates %v per op in steady state, want 0", got)
+	}
+}

@@ -1,0 +1,99 @@
+package codec_test
+
+// BenchmarkCodecRoundTrip is the tentpole's before/after: the hand-written
+// codec against the retained gob baseline (gob survives here, in a test
+// file, purely as the measuring stick) for the two hottest durable types —
+// replay responses (one per fetched URL) and engine checkpoints (one per
+// CheckpointEvery requests, frontier snapshot embedded). The codec must
+// hold ≥3x encode+decode throughput and ≥10x fewer allocations per round
+// trip; scripts/bench.sh codec records the numbers behind BENCH_store.json.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fetch"
+)
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	resp := sampleResponse()
+	cp := sampleCheckpoint()
+
+	b.Run("Response/codec", func(b *testing.B) {
+		buf := fetch.AppendResponse(nil, &resp)
+		var out fetch.Response
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = fetch.AppendResponse(buf[:0], &resp)
+			if err := fetch.DecodeResponseInto(buf, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Response/gob", func(b *testing.B) {
+		var size int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+			size = int64(buf.Len())
+			var out fetch.Response
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(size)
+	})
+	b.Run("Checkpoint/codec", func(b *testing.B) {
+		buf := core.AppendCheckpoint(nil, &cp)
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = core.AppendCheckpoint(buf[:0], &cp)
+			if _, err := core.DecodeCheckpoint(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Checkpoint/gob", func(b *testing.B) {
+		var size int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+				b.Fatal(err)
+			}
+			size = int64(buf.Len())
+			var out core.Checkpoint
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(size)
+	})
+}
+
+// BenchmarkCodecEncodeResult sizes the done-record write (once per
+// completed crawl — cold path, measured for the record).
+func BenchmarkCodecEncodeResult(b *testing.B) {
+	res := sampleResult()
+	buf := core.AppendResult(nil, res)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = core.AppendResult(buf[:0], res)
+		if _, err := core.DecodeResult(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

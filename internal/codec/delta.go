@@ -1,0 +1,63 @@
+package codec
+
+// Byte-range deltas for checkpoint writes. Successive checkpoints of the
+// same crawl encode to blobs that mostly share bytes (a queue frontier
+// advancing its head keeps a long common suffix; counters near the front
+// change by a few varint bytes), so instead of re-writing the full
+// snapshot every interval the store sink writes a full blob every K
+// checkpoints and, between them, just the byte range that changed:
+// (common prefix length, common suffix length, replacement middle).
+// Applying the delta to the retained base reproduces the current blob
+// byte-for-byte.
+
+import "fmt"
+
+// AppendDelta appends the delta transforming base into cur: a base-length
+// guard, the shared prefix/suffix lengths, and the replacement middle
+// bytes.
+func AppendDelta(dst, base, cur []byte) []byte {
+	p := 0
+	max := len(base)
+	if len(cur) < max {
+		max = len(cur)
+	}
+	for p < max && base[p] == cur[p] {
+		p++
+	}
+	s := 0
+	for s < max-p && base[len(base)-1-s] == cur[len(cur)-1-s] {
+		s++
+	}
+	dst = AppendUvarint(dst, uint64(len(base)))
+	dst = AppendUvarint(dst, uint64(p))
+	dst = AppendUvarint(dst, uint64(s))
+	mid := cur[p : len(cur)-s]
+	dst = AppendUvarint(dst, uint64(len(mid)))
+	return append(dst, mid...)
+}
+
+// ApplyDelta reconstructs the current blob from base and a delta produced
+// by AppendDelta over that same base. The encoded base-length guard
+// rejects application against the wrong base.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	r := NewReader(delta)
+	baseLen := r.Uvarint()
+	p := r.Uvarint()
+	s := r.Uvarint()
+	midLen := int(r.Uvarint())
+	mid := r.take(midLen)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if int(baseLen) != len(base) {
+		return nil, fmt.Errorf("%w: delta base length %d, have %d", ErrCorrupt, baseLen, len(base))
+	}
+	if p+s > uint64(len(base)) {
+		return nil, fmt.Errorf("%w: delta prefix+suffix exceed base", ErrCorrupt)
+	}
+	out := make([]byte, 0, int(p)+len(mid)+int(s))
+	out = append(out, base[:p]...)
+	out = append(out, mid...)
+	out = append(out, base[uint64(len(base))-s:]...)
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package codec
+
+// Frontier-state payloads. A frontier snapshot is a KindFrontier blob
+// whose first payload byte names the frontier kind; the counted-RNG
+// frontiers (Random, Grouped) carry their (Seed, Draws) generator position
+// so a restored frontier draws the exact sequence the original would
+// have. GroupedState's action map is encoded in ascending action order so
+// identical states always produce identical bytes (snapshots are embedded
+// in checkpoints, and checkpoint bytes feed the byte-range delta).
+
+import (
+	"fmt"
+	"sort"
+
+	"sbcrawl/internal/frontier"
+)
+
+// Frontier sub-kind bytes (first payload byte of a KindFrontier blob).
+const (
+	frontierQueue byte = iota + 1
+	frontierStack
+	frontierRandom
+	frontierPriority
+	frontierGrouped
+)
+
+// AppendFrontierState encodes any of the five frontier snapshot states.
+func AppendFrontierState(dst []byte, state interface{}) ([]byte, error) {
+	dst = AppendHeader(dst, KindFrontier)
+	switch st := state.(type) {
+	case frontier.QueueState:
+		dst = append(dst, frontierQueue)
+		dst = AppendStrings(dst, st.Items)
+	case frontier.StackState:
+		dst = append(dst, frontierStack)
+		dst = AppendStrings(dst, st.Items)
+	case frontier.RandomState:
+		dst = append(dst, frontierRandom)
+		dst = AppendStrings(dst, st.Items)
+		dst = AppendVarint(dst, st.Seed)
+		dst = AppendVarint(dst, st.Draws)
+	case frontier.PriorityState:
+		dst = append(dst, frontierPriority)
+		if st.Entries == nil {
+			dst = AppendUvarint(dst, 0)
+		} else {
+			dst = AppendUvarint(dst, uint64(len(st.Entries))+1)
+			for _, e := range st.Entries {
+				dst = AppendString(dst, e.URL)
+				dst = AppendFloat64(dst, e.Score)
+				dst = AppendVarint(dst, e.Seq)
+			}
+		}
+		dst = AppendVarint(dst, st.Seq)
+	case frontier.GroupedState:
+		dst = append(dst, frontierGrouped)
+		if st.Actions == nil {
+			dst = AppendUvarint(dst, 0)
+		} else {
+			keys := make([]int, 0, len(st.Actions))
+			for a := range st.Actions {
+				keys = append(keys, a)
+			}
+			sort.Ints(keys)
+			dst = AppendUvarint(dst, uint64(len(keys))+1)
+			for _, a := range keys {
+				dst = AppendInt(dst, a)
+				dst = AppendStrings(dst, st.Actions[a])
+			}
+		}
+		dst = AppendVarint(dst, st.Seed)
+		dst = AppendVarint(dst, st.Draws)
+	default:
+		return nil, fmt.Errorf("codec: unsupported frontier state %T", state)
+	}
+	return dst, nil
+}
+
+// DecodeFrontierState decodes a KindFrontier blob into the concrete
+// snapshot state value (frontier.QueueState, StackState, RandomState,
+// PriorityState, or GroupedState).
+func DecodeFrontierState(raw []byte) (interface{}, error) {
+	payload, legacy, err := Header(raw, KindFrontier)
+	if err != nil {
+		return nil, err
+	}
+	if legacy {
+		return nil, fmt.Errorf("%w: not a codec frontier blob", ErrCorrupt)
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: missing frontier kind", ErrCorrupt)
+	}
+	sub, body := payload[0], payload[1:]
+	r := NewReader(body)
+	var state interface{}
+	switch sub {
+	case frontierQueue:
+		state = frontier.QueueState{Items: r.Strings()}
+	case frontierStack:
+		state = frontier.StackState{Items: r.Strings()}
+	case frontierRandom:
+		state = frontier.RandomState{Items: r.Strings(), Seed: r.Varint(), Draws: r.Varint()}
+	case frontierPriority:
+		var st frontier.PriorityState
+		if n, ok := r.sliceLen(); ok {
+			st.Entries = make([]frontier.PriorityEntry, 0, n)
+			for i := 0; i < n && r.Err() == nil; i++ {
+				st.Entries = append(st.Entries, frontier.PriorityEntry{
+					URL:   r.String(),
+					Score: r.Float64(),
+					Seq:   r.Varint(),
+				})
+			}
+		}
+		st.Seq = r.Varint()
+		state = st
+	case frontierGrouped:
+		var st frontier.GroupedState
+		if n, ok := r.sliceLen(); ok {
+			st.Actions = make(map[int][]string, n)
+			for i := 0; i < n && r.Err() == nil; i++ {
+				a := r.Int()
+				st.Actions[a] = r.Strings()
+			}
+		}
+		st.Seed = r.Varint()
+		st.Draws = r.Varint()
+		state = st
+	default:
+		return nil, fmt.Errorf("%w: unknown frontier kind 0x%02x", ErrCorrupt, sub)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return state, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package codec_test
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where allocation budgets do not hold (sync.Pool drops objects at random
+// and the runtime inserts extra bookkeeping allocations).
+const raceEnabled = true

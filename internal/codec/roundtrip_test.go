@@ -1,0 +1,178 @@
+package codec_test
+
+// Cross-package round trips: every persistence-plane type encodes and
+// decodes with reflect.DeepEqual fidelity (the resume equivalence gates
+// compare decoded values that way), nil-vs-empty and nil-vs-present
+// distinctions included, and every decoder still reads gob-era records
+// through its legacy fallback.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"reflect"
+	"testing"
+
+	"sbcrawl/internal/codec"
+	"sbcrawl/internal/core"
+	"sbcrawl/internal/fabric"
+	"sbcrawl/internal/fetch"
+)
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []fetch.Response{
+		sampleResponse(),
+		{}, // zero value: empty strings, nil body
+		{URL: "http://s/r", Status: 302, Location: "http://s/target", Body: nil},
+		{URL: "http://s/e", Status: 200, MIME: "text/html", Body: []byte{}},
+		{URL: "http://s/503", Status: 503, RetryAfter: 7, Interrupted: true},
+	}
+	for _, want := range cases {
+		raw, err := fetch.EncodeResponse(want)
+		if err != nil {
+			t.Fatalf("encode %q: %v", want.URL, err)
+		}
+		got, err := fetch.DecodeResponse(raw)
+		if err != nil {
+			t.Fatalf("decode %q: %v", want.URL, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("response round trip:\n got %#v\nwant %#v", got, want)
+		}
+	}
+}
+
+func TestResponseLegacyGob(t *testing.T) {
+	want := sampleResponse()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fetch.DecodeResponse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-era response rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob fallback:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cases := []core.Checkpoint{
+		sampleCheckpoint(),
+		{}, // zero value: nil frontier, nil fabric frontiers
+		{Requests: 4, Frontier: []byte{}, FabricFrontiers: [][]byte{}},
+		{Requests: 8, FabricFrontiers: [][]byte{nil, {}, {1}}},
+	}
+	for i, want := range cases {
+		got, err := core.DecodeCheckpoint(core.EncodeCheckpoint(&want))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d checkpoint round trip:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+}
+
+func TestCheckpointLegacyGob(t *testing.T) {
+	want := sampleCheckpoint()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DecodeCheckpoint(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-era checkpoint rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob fallback:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	full := sampleResult()
+	minimal := &core.Result{Crawler: "dfs", Requests: 3, Steps: 3}
+	for _, want := range []*core.Result{full, minimal} {
+		got, err := core.DecodeResult(core.EncodeResult(want))
+		if err != nil {
+			t.Fatalf("%s: %v", want.Crawler, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s result round trip:\n got %#v\nwant %#v", want.Crawler, got, want)
+		}
+	}
+	// The optional sections must come back nil, not zero-valued.
+	got, err := core.DecodeResult(core.EncodeResult(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil || got.Actions != nil || got.Confusion != nil ||
+		got.Spec != nil || got.Fabric != nil || got.Faults != nil {
+		t.Fatalf("nil sections materialized: %#v", got)
+	}
+}
+
+func TestResultLegacyGob(t *testing.T) {
+	want := sampleResult()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DecodeResult(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-era result rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob fallback:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, want := range []fabric.Envelope{sampleEnvelope(), {From: 1, To: 2}} {
+		got, err := fabric.DecodeEnvelope(fabric.EncodeEnvelope(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("envelope round trip:\n got %#v\nwant %#v", got, want)
+		}
+	}
+}
+
+// TestUnknownVersionRefused: a blob stamped with a future format version
+// fails with the typed error at every decoder, never a misparse.
+func TestUnknownVersionRefused(t *testing.T) {
+	future := func(kind byte) []byte { return []byte{codec.Tag, 0x2A, kind, 0, 0, 0} }
+	if _, err := fetch.DecodeResponse(future(codec.KindResponse)); !errors.Is(err, codec.ErrUnknownVersion) {
+		t.Fatalf("response: %v", err)
+	}
+	if _, err := core.DecodeCheckpoint(future(codec.KindCheckpoint)); !errors.Is(err, codec.ErrUnknownVersion) {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if _, err := core.DecodeResult(future(codec.KindResult)); !errors.Is(err, codec.ErrUnknownVersion) {
+		t.Fatalf("result: %v", err)
+	}
+	if _, err := fabric.DecodeEnvelope(future(codec.KindEnvelope)); !errors.Is(err, codec.ErrUnknownVersion) {
+		t.Fatalf("envelope: %v", err)
+	}
+	if _, err := codec.DecodeFrontierState(future(codec.KindFrontier)); !errors.Is(err, codec.ErrUnknownVersion) {
+		t.Fatalf("frontier: %v", err)
+	}
+}
+
+// TestTruncatedPayloadsRefused: every decoder reports ErrCorrupt (not a
+// partial value) when a codec blob is cut short.
+func TestTruncatedPayloadsRefused(t *testing.T) {
+	raw, _ := fetch.EncodeResponse(sampleResponse())
+	for _, cut := range []int{4, len(raw) / 2, len(raw) - 1} {
+		if _, err := fetch.DecodeResponse(raw[:cut]); err == nil {
+			t.Fatalf("truncated response at %d accepted", cut)
+		}
+	}
+	cp := sampleCheckpoint()
+	enc := core.EncodeCheckpoint(&cp)
+	if _, err := core.DecodeCheckpoint(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

@@ -73,11 +73,11 @@ func (r *simpleRun) Hints(n int) []string { return r.f.Peek(n) }
 func (r *simpleRun) FrontierSnapshot() ([]byte, error) {
 	switch f := r.f.(type) {
 	case *frontier.Queue:
-		return gobSnapshot(f.Snapshot())
+		return encodeSnapshot(f.Snapshot())
 	case *frontier.Stack:
-		return gobSnapshot(f.Snapshot())
+		return encodeSnapshot(f.Snapshot())
 	case *frontier.Random:
-		return gobSnapshot(f.Snapshot())
+		return encodeSnapshot(f.Snapshot())
 	}
 	return nil, nil
 }

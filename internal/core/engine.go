@@ -159,12 +159,12 @@ type Checkpoint struct {
 	// TunerWindow is the adaptive speculation window at the checkpoint
 	// (0 when the width is fixed or prefetch is off).
 	TunerWindow int
-	// Frontier is a gob-serialized frontier snapshot
+	// Frontier is a codec-serialized frontier snapshot
 	// (frontier.QueueState/StackState/RandomState/PriorityState/
 	// GroupedState) when the running policy supports snapshotting; nil
 	// otherwise.
 	Frontier []byte
-	// FabricFrontiers holds one gob-serialized fabric.PartitionSnapshot per
+	// FabricFrontiers holds one codec-serialized fabric.PartitionSnapshot per
 	// partition when the crawl is partitioned (Env.Partitions != 0); nil
 	// otherwise. Resume feeds them back through Env.FabricWarm.
 	FabricFrontiers [][]byte

@@ -104,7 +104,7 @@ func (r *focusedRun) Hints(n int) []string { return r.pq.Peek(n) }
 // FrontierSnapshot serializes the score-ordered frontier (heap layout and
 // tie-break counter) for the engine's checkpoints.
 func (r *focusedRun) FrontierSnapshot() ([]byte, error) {
-	return gobSnapshot(r.pq.Snapshot())
+	return encodeSnapshot(r.pq.Snapshot())
 }
 
 // Run implements Crawler via the staged loop.

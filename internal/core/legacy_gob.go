@@ -1,0 +1,25 @@
+package core
+
+// Legacy gob fallback: checkpoints and done-records written before
+// internal/codec are gob streams (no 0x00 format tag). This is the only
+// non-test gob import in the package — kept solely so stores written by
+// earlier builds keep resuming.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// decodeCheckpointGob decodes a gob-era checkpoint record.
+func decodeCheckpointGob(raw []byte, cp *Checkpoint) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(cp)
+}
+
+// decodeResultGob decodes a gob-era done-record.
+func decodeResultGob(raw []byte) (*Result, error) {
+	var res Result
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -178,7 +178,7 @@ func (r *sbRun) Hints(n int) []string { return r.front.Peek(n) }
 // FrontierSnapshot serializes the action-grouped frontier (links per
 // action plus the draw RNG position) for the engine's checkpoints.
 func (r *sbRun) FrontierSnapshot() ([]byte, error) {
-	return gobSnapshot(r.front.Snapshot())
+	return encodeSnapshot(r.front.Snapshot())
 }
 
 // step is Algorithm 4: crawl one URL, then ingest it.

@@ -2,19 +2,13 @@ package core
 
 // Frontier-snapshot plumbing for the engine's periodic checkpoints: every
 // policy whose frontier implements frontier.Snapshot exposes it through the
-// frontierSnapshotter capability, serialized with gob into the
-// Checkpoint.Frontier payload the persistent store keeps current.
+// frontierSnapshotter capability, serialized with the internal/codec
+// binary format into the Checkpoint.Frontier payload the persistent store
+// keeps current.
 
-import (
-	"bytes"
-	"encoding/gob"
-)
+import "sbcrawl/internal/codec"
 
-// gobSnapshot serializes one frontier state value.
-func gobSnapshot(state interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+// encodeSnapshot serializes one frontier state value.
+func encodeSnapshot(state interface{}) ([]byte, error) {
+	return codec.AppendFrontierState(make([]byte, 0, 256), state)
 }

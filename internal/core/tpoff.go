@@ -93,7 +93,7 @@ func (p tpoffWarmup) Hints(n int) []string { return p.r.bfs.Peek(n) }
 
 // FrontierSnapshot serializes the warm-up BFS queue for checkpoints.
 func (p tpoffWarmup) FrontierSnapshot() ([]byte, error) {
-	return gobSnapshot(p.r.bfs.Snapshot())
+	return encodeSnapshot(p.r.bfs.Snapshot())
 }
 
 // zeroGroup buckets phase-2 links matching no existing group.
@@ -136,7 +136,7 @@ func (p tpoffMain) Hints(n int) []string { return p.r.grouped.Peek(n) }
 
 // FrontierSnapshot serializes the phase-2 grouped frontier for checkpoints.
 func (p tpoffMain) FrontierSnapshot() ([]byte, error) {
-	return gobSnapshot(p.r.grouped.Snapshot())
+	return encodeSnapshot(p.r.grouped.Snapshot())
 }
 
 // Run implements Crawler: the BFS warm-up phase and the frozen-benefit

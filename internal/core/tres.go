@@ -129,7 +129,7 @@ func (r *tresRun) Hints(n int) []string { return r.pq.Peek(n) }
 
 // FrontierSnapshot serializes the score-ordered frontier for checkpoints.
 func (r *tresRun) FrontierSnapshot() ([]byte, error) {
-	return gobSnapshot(r.pq.Snapshot())
+	return encodeSnapshot(r.pq.Snapshot())
 }
 
 // Run implements Crawler via the staged loop.

@@ -21,8 +21,6 @@
 package fabric
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -398,9 +396,10 @@ func (f *Fabric) Stats() Stats {
 	return st
 }
 
-// PartitionSnapshot is the gob-encodable durable state of one partition's
-// frontier, stored per-partition in a crawl checkpoint so Resume can
-// re-seed a partitioned crawl mid-flight.
+// PartitionSnapshot is the durable state of one partition's frontier
+// (internal/codec binary format, gob for pre-codec checkpoints), stored
+// per-partition in a crawl checkpoint so Resume can re-seed a partitioned
+// crawl mid-flight.
 type PartitionSnapshot struct {
 	// Partition is the index the snapshot was taken from (informational:
 	// restore re-routes by host hash, so the count may change between runs).
@@ -427,10 +426,7 @@ func (f *Fabric) SnapshotFrontiers() [][]byte {
 			Quarantined: quarantined,
 		}
 		p.mu.Unlock()
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(snap); err == nil {
-			out[i] = buf.Bytes()
-		}
+		out[i] = appendPartitionSnapshot(make([]byte, 0, 256), &snap)
 	}
 	return out
 }
@@ -443,8 +439,8 @@ func (f *Fabric) restore(blob []byte) {
 	if len(blob) == 0 {
 		return
 	}
-	var snap PartitionSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+	snap, err := decodePartitionSnapshot(blob)
+	if err != nil {
 		return
 	}
 	f.addQuarantined(snap.Quarantined)

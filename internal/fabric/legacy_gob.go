@@ -1,0 +1,22 @@
+package fabric
+
+// Legacy gob fallback: partition snapshots inside checkpoints written
+// before internal/codec are gob streams (no 0x00 format tag). This is the
+// only non-test gob import in the package — kept solely so older stores
+// keep resuming.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// decodePartitionSnapshotGob decodes a gob-era partition snapshot blob.
+func decodePartitionSnapshotGob(raw []byte, snap *PartitionSnapshot) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(snap)
+}
+
+// decodeEnvelopeGob decodes a gob-encoded Envelope (older peers on a
+// future wire transport).
+func decodeEnvelopeGob(raw []byte, e *Envelope) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(e)
+}

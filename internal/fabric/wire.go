@@ -1,0 +1,71 @@
+package fabric
+
+// Binary codec for the fabric's durable/wire types (internal/codec
+// framing): Envelope (KindEnvelope — the per-message framing a socket
+// transport needs; gob encoders are stream-stateful and cannot frame
+// independent messages) and PartitionSnapshot (KindPartitionSnapshot, one
+// per partition inside a crawl checkpoint). Snapshot decoding falls back
+// to gob for checkpoints written by earlier builds (see legacy_gob.go).
+
+import "sbcrawl/internal/codec"
+
+// AppendEnvelope appends the codec encoding of e to dst.
+func AppendEnvelope(dst []byte, e *Envelope) []byte {
+	dst = codec.AppendHeader(dst, codec.KindEnvelope)
+	dst = codec.AppendInt(dst, e.From)
+	dst = codec.AppendInt(dst, e.To)
+	dst = codec.AppendStrings(dst, e.URLs)
+	return dst
+}
+
+// EncodeEnvelope serializes one cross-partition transfer as a
+// self-contained message.
+func EncodeEnvelope(e Envelope) []byte {
+	return AppendEnvelope(make([]byte, 0, 64), &e)
+}
+
+// DecodeEnvelope is the inverse of EncodeEnvelope.
+func DecodeEnvelope(raw []byte) (Envelope, error) {
+	var e Envelope
+	payload, legacy, err := codec.Header(raw, codec.KindEnvelope)
+	if err != nil {
+		return e, err
+	}
+	if legacy {
+		err := decodeEnvelopeGob(raw, &e)
+		return e, err
+	}
+	r := codec.NewReader(payload)
+	e.From = r.Int()
+	e.To = r.Int()
+	e.URLs = r.Strings()
+	return e, r.Close()
+}
+
+// appendPartitionSnapshot appends the codec encoding of snap to dst.
+func appendPartitionSnapshot(dst []byte, snap *PartitionSnapshot) []byte {
+	dst = codec.AppendHeader(dst, codec.KindPartitionSnapshot)
+	dst = codec.AppendInt(dst, snap.Partition)
+	dst = codec.AppendStrings(dst, snap.Frontier.Items)
+	dst = codec.AppendStrings(dst, snap.Quarantined)
+	return dst
+}
+
+// decodePartitionSnapshot decodes one partition checkpoint blob, gob-era
+// blobs included.
+func decodePartitionSnapshot(raw []byte) (PartitionSnapshot, error) {
+	var snap PartitionSnapshot
+	payload, legacy, err := codec.Header(raw, codec.KindPartitionSnapshot)
+	if err != nil {
+		return snap, err
+	}
+	if legacy {
+		err := decodePartitionSnapshotGob(raw, &snap)
+		return snap, err
+	}
+	r := codec.NewReader(payload)
+	snap.Partition = r.Int()
+	snap.Frontier.Items = r.Strings()
+	snap.Quarantined = r.Strings()
+	return snap, r.Close()
+}

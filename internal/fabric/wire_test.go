@@ -1,0 +1,69 @@
+package fabric
+
+// Round trips for the fabric's codec types: Envelope framing and the
+// per-partition checkpoint snapshots, gob-era fallbacks included (a store
+// checkpointed by a pre-codec build must still warm-start partitions).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"sbcrawl/internal/frontier"
+)
+
+func TestPartitionSnapshotRoundTrip(t *testing.T) {
+	cases := []PartitionSnapshot{
+		{
+			Partition:   2,
+			Frontier:    frontier.QueueState{Items: []string{"http://a.test/1", "http://b.test/2"}},
+			Quarantined: []string{"dead.test"},
+		},
+		{}, // zero value: nil items, nil quarantine
+		{Partition: 1, Frontier: frontier.QueueState{Items: []string{}}, Quarantined: []string{}},
+	}
+	for i, want := range cases {
+		got, err := decodePartitionSnapshot(appendPartitionSnapshot(nil, &want))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d snapshot round trip:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+}
+
+func TestPartitionSnapshotLegacyGob(t *testing.T) {
+	want := PartitionSnapshot{
+		Partition:   1,
+		Frontier:    frontier.QueueState{Items: []string{"http://s/x"}},
+		Quarantined: []string{"down.test"},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePartitionSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-era snapshot rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob fallback:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestEnvelopeLegacyGob(t *testing.T) {
+	want := Envelope{From: 3, To: 1, URLs: []string{"http://s/a", "http://s/b"}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-era envelope rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob fallback:\n got %#v\nwant %#v", got, want)
+	}
+}

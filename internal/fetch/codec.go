@@ -1,0 +1,62 @@
+package fetch
+
+// Binary codec for replay records (internal/codec framing, KindResponse).
+// Responses are the highest-volume durable type — one record per fetched
+// URL — so both directions are allocation-free in steady state:
+// AppendResponse grows a caller-reused buffer, DecodeResponseInto fills a
+// reused struct with views aliasing the raw blob.
+
+import "sbcrawl/internal/codec"
+
+// AppendResponse appends the codec encoding of resp to dst and returns
+// the extended buffer.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = codec.AppendHeader(dst, codec.KindResponse)
+	dst = codec.AppendString(dst, resp.URL)
+	dst = codec.AppendInt(dst, resp.Status)
+	dst = codec.AppendString(dst, resp.MIME)
+	dst = codec.AppendString(dst, resp.Location)
+	dst = codec.AppendBytes(dst, resp.Body)
+	dst = codec.AppendInt(dst, resp.ContentLength)
+	dst = codec.AppendBool(dst, resp.Interrupted)
+	dst = codec.AppendInt(dst, resp.RetryAfter)
+	return dst
+}
+
+// DecodeResponseInto decodes raw into resp without allocating: the
+// decoded URL/MIME/Location strings and Body are views aliasing raw, so
+// raw must stay alive and unmodified for as long as resp is used (store
+// reads hand out freshly owned buffers, which satisfies this). Gob-era
+// records fall back to the reflection decoder.
+func DecodeResponseInto(raw []byte, resp *Response) error {
+	payload, legacy, err := codec.Header(raw, codec.KindResponse)
+	if err != nil {
+		return err
+	}
+	if legacy {
+		return decodeResponseGob(raw, resp)
+	}
+	r := codec.NewReader(payload)
+	resp.URL = r.ViewString()
+	resp.Status = r.Int()
+	resp.MIME = r.ViewString()
+	resp.Location = r.ViewString()
+	resp.Body = r.View()
+	resp.ContentLength = r.Int()
+	resp.Interrupted = r.Bool()
+	resp.RetryAfter = r.Int()
+	return r.Close()
+}
+
+// EncodeResponse serializes a Response for durable storage.
+func EncodeResponse(resp Response) ([]byte, error) {
+	return AppendResponse(make([]byte, 0, 64+len(resp.Body)), &resp), nil
+}
+
+// DecodeResponse is the inverse of EncodeResponse. The returned Response
+// aliases raw (see DecodeResponseInto).
+func DecodeResponse(raw []byte) (Response, error) {
+	var resp Response
+	err := DecodeResponseInto(raw, &resp)
+	return resp, err
+}

@@ -1,0 +1,16 @@
+package fetch
+
+// Legacy gob fallback: replay stores written before internal/codec hold
+// gob-encoded responses (no 0x00 format tag). This is the only non-test
+// gob import in the package — the hot paths are gob-free, and the
+// fallback exists solely so older stores keep resuming.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// decodeResponseGob decodes a gob-era replay record.
+func decodeResponseGob(raw []byte, resp *Response) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(resp)
+}

@@ -1,8 +1,6 @@
 package fetch
 
 import (
-	"bytes"
-	"encoding/gob"
 	"sync"
 
 	"sbcrawl/internal/store"
@@ -45,6 +43,10 @@ type Replay struct {
 	diskGets  map[string]bool
 	diskHeads map[string]bool
 	diskErr   error
+	// enc is the spill encode scratch, reused under mu so the write path
+	// stops allocating once it has grown to the largest response seen
+	// (store.Put copies the value before returning).
+	enc []byte
 	// hits and misses count database lookups, for cache diagnostics.
 	hits, misses int
 
@@ -129,11 +131,8 @@ func (r *Replay) record(mem map[string]Response, onDisk map[string]bool, prefix,
 	if r.disk == nil {
 		return
 	}
-	raw, err := EncodeResponse(resp)
-	if err == nil {
-		err = r.disk.Put(prefix+url, raw)
-	}
-	if err != nil && r.diskErr == nil {
+	r.enc = AppendResponse(r.enc[:0], &resp)
+	if err := r.disk.Put(prefix+url, r.enc); err != nil && r.diskErr == nil {
 		r.diskErr = err
 	}
 }
@@ -235,20 +234,4 @@ func (r *Replay) DiskErr() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.diskErr
-}
-
-// EncodeResponse serializes a Response for durable storage.
-func EncodeResponse(resp Response) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeResponse is the inverse of EncodeResponse.
-func DecodeResponse(raw []byte) (Response, error) {
-	var resp Response
-	err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&resp)
-	return resp, err
 }

@@ -1,0 +1,16 @@
+package serve
+
+// Legacy gob fallback: session records written before internal/codec are
+// gob streams (no 0x00 format tag). This is the only non-test gob import
+// in the package — kept solely so daemons restarted on older stores keep
+// reloading their sessions.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// decodeSessionRecordGob decodes a gob-era session record.
+func decodeSessionRecordGob(raw []byte, rec *sessionRecord) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(rec)
+}

@@ -22,9 +22,7 @@
 package serve
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"reflect"
 	"runtime"
@@ -463,12 +461,8 @@ func (s *Server) newSession(id string, spec SessionSpec, state string) *session 
 
 // putRecord persists a session record under its stable key.
 func (s *Server) putRecord(rec sessionRecord) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		return
-	}
 	id := SessionID(rec.Spec.Tenant, rec.Spec.Name)
-	if err := s.records.Put("sess|"+id, buf.Bytes()); err != nil {
+	if err := s.records.Put("sess|"+id, encodeSessionRecord(&rec)); err != nil {
 		return
 	}
 	s.records.Sync()
@@ -575,8 +569,8 @@ func (s *Server) reload() {
 		if !ok {
 			continue
 		}
-		var rec sessionRecord
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
+		rec, err := decodeSessionRecord(raw)
+		if err != nil {
 			continue // skip a corrupt record rather than refuse to start
 		}
 		id := SessionID(rec.Spec.Tenant, rec.Spec.Name)

@@ -90,3 +90,49 @@ func BenchmarkResumeOverhead(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkStorePutBatch measures the group-commit fast path against the
+// same entries written as individual synced Puts — the spill pattern the
+// speculation cache uses at crawl shutdown (one header and CRC region for
+// the whole batch, one buffered write, one flush).
+func BenchmarkStorePutBatch(b *testing.B) {
+	const entries = 64
+	val := benchValue(1024)
+	kvs := make([]KV, entries)
+	for i := range kvs {
+		kvs[i] = KV{Key: fmt.Sprintf("spill%05d", i), Val: val}
+	}
+	b.Run("batch", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(entries * len(val)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.PutBatch(kvs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("puts", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(entries * len(val)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, kv := range kvs {
+				if err := s.Put(kv.Key, kv.Val); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -19,14 +19,25 @@
 // back from its segment, so resident memory stays proportional to the key
 // set, not the stored bytes.
 //
+// A group commit (PutBatch) appends many entries under one header and one
+// CRC region, using keyLen == 0 as the batch sentinel — unreachable in
+// plain records, since Put rejects empty keys (and pre-batch builds read a
+// zero keyLen as corruption, so old logs never contain it):
+//
+//	uint32 0 | uint32 payloadLen | uint32 crc32(IEEE, payload) | payload
+//	payload: uvarint count, then per entry:
+//	         uvarint keyLen | uvarint valLen | key | val
+//
 // # Snapshots
 //
 // Superseded records are garbage until Snapshot() compacts the store: it
 // writes every live entry into one fresh segment (in sorted key order),
 // syncs it, and deletes the older segments. Close() compacts automatically
 // when more than half of the stored bytes are garbage. Between snapshots a
-// record is durable once Sync() has flushed it (Put buffers through bufio);
-// the crawl layer syncs at every checkpoint.
+// record is durable once Sync() has flushed it (Put appends to an
+// in-process write buffer; Get serves unflushed tail records straight from
+// that buffer, so reads never force a flush); the crawl layer syncs at
+// every checkpoint.
 //
 // # Corruption recovery
 //
@@ -59,6 +70,9 @@ import (
 type Backend interface {
 	// Put durably records key → val (last write wins).
 	Put(key string, val []byte) error
+	// PutBatch group-commits many entries: one record header and CRC
+	// region for the whole batch, a single buffered write, one flush.
+	PutBatch(kvs []KV) error
 	// Get returns the newest value recorded for key.
 	Get(key string) ([]byte, bool)
 	// Keys lists, in sorted order, every live key with the prefix.
@@ -67,11 +81,20 @@ type Backend interface {
 	Sync() error
 }
 
+// KV is one entry of a PutBatch group commit.
+type KV struct {
+	Key string
+	Val []byte
+}
+
 const (
 	recHeaderLen = 12
 	maxKeyLen    = 1 << 20 // sanity bound: larger lengths mean corruption
 	maxValLen    = 1 << 30
 	segSuffix    = ".seg"
+	// flushAt bounds the in-process write buffer: a Put or PutBatch that
+	// grows it past this point flushes to the file before returning.
+	flushAt = 1 << 16
 )
 
 // ErrLocked matches (via errors.Is) the failure of Open to acquire a store
@@ -134,9 +157,14 @@ type Store struct {
 	mu   sync.Mutex
 	dir  string
 	segs []segment
-	// active writer state (always the last element of segs).
-	w          *bufio.Writer
-	flushedOff int64 // bytes of the active segment visible to reads
+	// active writer state (always the last element of segs). wbuf holds
+	// the active segment's unflushed tail: writes append whole records to
+	// it (a record never straddles the flush boundary), Get serves
+	// unflushed records from it, and flushLocked writes it out in one
+	// syscall. The invariant len(wbuf) == active.size - flushedOff holds
+	// between operations.
+	wbuf       []byte
+	flushedOff int64 // bytes of the active segment physically in the file
 	index      map[string]loc
 	liveBytes  int64 // record bytes reachable through the index
 	totalBytes int64 // record bytes across all segments (live + garbage)
@@ -229,12 +257,26 @@ func (s *Store) scanSegment(name string, tail bool) error {
 		} else {
 			klen = binary.LittleEndian.Uint32(hdr[0:4])
 			vlen = binary.LittleEndian.Uint32(hdr[4:8])
-			if klen == 0 || klen > maxKeyLen || vlen > maxValLen ||
+			if klen > maxKeyLen || vlen > maxValLen ||
 				off+recHeaderLen+int64(klen)+int64(vlen) > size {
 				good = false
 			}
 		}
-		if good {
+		if good && klen == 0 {
+			// keyLen == 0 is the PutBatch sentinel: one CRC-covered payload
+			// holding many entries.
+			want := binary.LittleEndian.Uint32(hdr[8:12])
+			payload := make([]byte, vlen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				good = false
+			} else if crc32.ChecksumIEEE(payload) != want {
+				good = false
+			} else if !s.indexBatch(segIdx, off, payload) {
+				good = false
+			} else {
+				off += recHeaderLen + int64(vlen)
+			}
+		} else if good {
 			want := binary.LittleEndian.Uint32(hdr[8:12])
 			key = resize(key, int(klen))
 			val := make([]byte, vlen)
@@ -276,8 +318,57 @@ func (s *Store) scanSegment(name string, tail bool) error {
 	return nil
 }
 
+// indexBatch parses one batch record's payload (whose record starts at
+// byte off of segment segIdx) into the index. The whole payload is
+// validated before anything is indexed, so a malformed batch is rejected
+// in one piece — reported false and treated like a CRC mismatch.
+func (s *Store) indexBatch(segIdx int, off int64, payload []byte) bool {
+	type entry struct {
+		key    string
+		valOff int64
+		vlen   int
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count > uint64(len(payload)) {
+		return false
+	}
+	pos := n
+	entries := make([]entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return false
+		}
+		pos += n
+		vlen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return false
+		}
+		pos += n
+		if klen == 0 || klen > maxKeyLen || vlen > maxValLen ||
+			int64(pos)+int64(klen)+int64(vlen) > int64(len(payload)) {
+			return false
+		}
+		key := string(payload[pos : pos+int(klen)])
+		pos += int(klen)
+		entries = append(entries, entry{key: key, valOff: off + recHeaderLen + int64(pos), vlen: int(vlen)})
+		pos += int(vlen)
+	}
+	if pos != len(payload) {
+		return false
+	}
+	for _, e := range entries {
+		s.indexRecord(e.key, loc{seg: segIdx, off: e.valOff, vlen: e.vlen},
+			recHeaderLen+int64(len(e.key))+int64(e.vlen))
+	}
+	return true
+}
+
 // indexRecord points the index at a newly scanned or written record,
-// keeping the live/garbage accounting straight.
+// keeping the live/garbage accounting straight. Batch entries are charged
+// the plain-record overhead (their actual varint framing is smaller), so
+// the garbage accounting stays one formula; GarbageRatio clamps the
+// resulting small overestimate of live bytes.
 func (s *Store) indexRecord(key string, l loc, recLen int64) {
 	if old, ok := s.index[key]; ok {
 		s.liveBytes -= recHeaderLen + int64(len(key)) + int64(old.vlen)
@@ -302,9 +393,24 @@ func (s *Store) startActive() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.segs = append(s.segs, segment{name: name, f: f})
-	s.w = bufio.NewWriterSize(f, 1<<16)
+	s.wbuf = s.wbuf[:0]
 	s.flushedOff = 0
 	return nil
+}
+
+// appendRecord appends one plain record for key/val to the write buffer
+// and returns its length. The CRC is computed over the buffered key‖val
+// bytes, so the write path allocates nothing.
+func (s *Store) appendRecord(key string, val []byte) int64 {
+	start := len(s.wbuf)
+	s.wbuf = append(s.wbuf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	s.wbuf = append(s.wbuf, key...)
+	s.wbuf = append(s.wbuf, val...)
+	rec := s.wbuf[start:]
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(val)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[recHeaderLen:]))
+	return int64(len(rec))
 }
 
 // Put implements Backend.
@@ -318,26 +424,60 @@ func (s *Store) Put(key string, val []byte) error {
 		return fmt.Errorf("store: key/value size out of range (key %d, val %d)", len(key), len(val))
 	}
 	active := &s.segs[len(s.segs)-1]
-	var hdr [recHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
-	crc := crc32.ChecksumIEEE([]byte(key))
-	crc = crc32.Update(crc, crc32.IEEETable, val)
-	binary.LittleEndian.PutUint32(hdr[8:12], crc)
-	if _, err := s.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := s.w.WriteString(key); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := s.w.Write(val); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	recLen := recHeaderLen + int64(len(key)) + int64(len(val))
+	recLen := s.appendRecord(key, val)
 	s.indexRecord(key, loc{seg: len(s.segs) - 1, off: active.size + recHeaderLen + int64(len(key)), vlen: len(val)}, recLen)
 	active.size += recLen
 	s.totalBytes += recLen
+	if len(s.wbuf) >= flushAt {
+		return s.flushLocked()
+	}
 	return nil
+}
+
+// PutBatch implements Backend: the whole batch is framed as one record
+// (single header, one CRC over the payload), appended to the write buffer
+// in one piece, and flushed once — a group commit. Entries are
+// individually indexed and readable immediately.
+func (s *Store) PutBatch(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	total := int64(binary.MaxVarintLen64)
+	for _, kv := range kvs {
+		if len(kv.Key) == 0 || len(kv.Key) > maxKeyLen || len(kv.Val) > maxValLen {
+			return fmt.Errorf("store: key/value size out of range (key %d, val %d)", len(kv.Key), len(kv.Val))
+		}
+		total += 2*binary.MaxVarintLen64 + int64(len(kv.Key)) + int64(len(kv.Val))
+	}
+	if total > maxValLen {
+		return fmt.Errorf("store: batch payload too large (%d bytes)", total)
+	}
+	active := &s.segs[len(s.segs)-1]
+	start := len(s.wbuf)
+	s.wbuf = append(s.wbuf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	s.wbuf = binary.AppendUvarint(s.wbuf, uint64(len(kvs)))
+	for _, kv := range kvs {
+		s.wbuf = binary.AppendUvarint(s.wbuf, uint64(len(kv.Key)))
+		s.wbuf = binary.AppendUvarint(s.wbuf, uint64(len(kv.Val)))
+		s.wbuf = append(s.wbuf, kv.Key...)
+		valOff := int64(len(s.wbuf) - start) // offset of val within the record
+		s.wbuf = append(s.wbuf, kv.Val...)
+		s.indexRecord(kv.Key, loc{seg: len(s.segs) - 1, off: active.size + valOff, vlen: len(kv.Val)},
+			recHeaderLen+int64(len(kv.Key))+int64(len(kv.Val)))
+	}
+	rec := s.wbuf[start:]
+	payloadLen := len(rec) - recHeaderLen
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[recHeaderLen:]))
+	recLen := int64(len(rec))
+	active.size += recLen
+	s.totalBytes += recLen
+	return s.flushLocked()
 }
 
 // Get implements Backend.
@@ -348,14 +488,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if !ok || s.closed {
 		return nil, false
 	}
-	// A record still sitting in the write buffer is not readable from the
-	// file yet; flush first.
-	if l.seg == len(s.segs)-1 && l.off+int64(l.vlen) > s.flushedOff {
-		if err := s.flushLocked(); err != nil {
-			return nil, false
-		}
-	}
 	val := make([]byte, l.vlen)
+	// A record still sitting in the write buffer is served straight from
+	// it — read-your-writes without forcing a flush. Records are buffered
+	// whole (flush drains the buffer completely), so a record is either
+	// entirely in wbuf (value offset at or past flushedOff) or entirely
+	// in the file.
+	if l.seg == len(s.segs)-1 && l.off >= s.flushedOff {
+		start := l.off - s.flushedOff
+		copy(val, s.wbuf[start:start+int64(l.vlen)])
+		return val, true
+	}
 	if _, err := s.segs[l.seg].f.ReadAt(val, l.off); err != nil {
 		return nil, false
 	}
@@ -403,7 +546,7 @@ func (s *Store) Recovery() []Recovery {
 func (s *Store) GarbageRatio() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.totalBytes == 0 {
+	if s.totalBytes == 0 || s.liveBytes >= s.totalBytes {
 		return 0
 	}
 	return float64(s.totalBytes-s.liveBytes) / float64(s.totalBytes)
@@ -421,8 +564,11 @@ func (s *Store) Sync() error {
 }
 
 func (s *Store) flushLocked() error {
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if len(s.wbuf) > 0 {
+		if _, err := s.segs[len(s.segs)-1].f.Write(s.wbuf); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.wbuf = s.wbuf[:0]
 	}
 	s.flushedOff = s.segs[len(s.segs)-1].size
 	return nil
@@ -464,25 +610,15 @@ func (s *Store) Snapshot() error {
 		if _, err := s.segs[l.seg].f.ReadAt(val, l.off); err != nil {
 			return fmt.Errorf("store: snapshot read: %w", err)
 		}
-		var hdr [recHeaderLen]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(k)))
-		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
-		crc := crc32.ChecksumIEEE([]byte(k))
-		crc = crc32.Update(crc, crc32.IEEETable, val)
-		binary.LittleEndian.PutUint32(hdr[8:12], crc)
-		if _, err := s.w.Write(hdr[:]); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if _, err := s.w.WriteString(k); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if _, err := s.w.Write(val); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		recLen := recHeaderLen + int64(len(k)) + int64(len(val))
+		recLen := s.appendRecord(k, val)
 		newLocs[k] = loc{seg: newIdx, off: active.size + recHeaderLen + int64(len(k)), vlen: len(val)}
 		active.size += recLen
 		written += recLen
+		if len(s.wbuf) >= flushAt {
+			if err := s.flushLocked(); err != nil {
+				return err
+			}
+		}
 	}
 	if err := s.flushLocked(); err != nil {
 		return err
@@ -504,8 +640,6 @@ func (s *Store) Snapshot() error {
 	s.liveBytes = written
 	s.totalBytes = written
 	s.flushedOff = active.size
-	// Reattach the writer to the (now only) segment.
-	s.w = bufio.NewWriterSize(active.f, 1<<16)
 	return nil
 }
 
@@ -561,6 +695,13 @@ type prefixed struct {
 func (pb *prefixed) Put(key string, val []byte) error { return pb.b.Put(pb.p+key, val) }
 func (pb *prefixed) Get(key string) ([]byte, bool)    { return pb.b.Get(pb.p + key) }
 func (pb *prefixed) Sync() error                      { return pb.b.Sync() }
+func (pb *prefixed) PutBatch(kvs []KV) error {
+	mapped := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		mapped[i] = KV{Key: pb.p + kv.Key, Val: kv.Val}
+	}
+	return pb.b.PutBatch(mapped)
+}
 func (pb *prefixed) Keys(prefix string) []string {
 	full := pb.b.Keys(pb.p + prefix)
 	out := make([]string, len(full))

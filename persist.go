@@ -23,14 +23,13 @@ package sbcrawl
 // sites that had not finished.
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"net/url"
 	"sort"
 	"strings"
 
+	"sbcrawl/internal/codec"
 	"sbcrawl/internal/core"
 	"sbcrawl/internal/fetch"
 	"sbcrawl/internal/fleet"
@@ -126,18 +125,53 @@ func progressFor(cs *crawlStore, ns, root string, cfg Config) CrawlProgress {
 	records := store.Prefixed(cs.st, ns+"|c|")
 	fp := cfgFingerprint(cfg, root)
 	if raw, ok := records.Get("done|" + fp); ok {
-		var res core.Result
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err == nil {
+		if res, err := core.DecodeResult(raw); err == nil {
 			return CrawlProgress{Requests: res.Requests, Targets: len(res.Targets), Done: true}
 		}
 	}
-	if raw, ok := records.Get("ckpt|" + fp); ok {
-		var cp core.Checkpoint
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err == nil {
-			return CrawlProgress{Requests: cp.Requests, Targets: cp.Targets}
-		}
+	if cp, ok := readCheckpoint(records, fp); ok {
+		return CrawlProgress{Requests: cp.Requests, Targets: cp.Targets}
 	}
 	return CrawlProgress{}
+}
+
+// readCheckpoint reads the newest durable checkpoint for fp: the full blob
+// under "ckpt|", advanced by the "ckptd|" delta record when it refers to
+// that exact base (matching base Requests sequence) and lands on a newer
+// checkpoint. Checkpoints are warm-up/progress state only, so any
+// mismatch safely falls back to the full blob.
+func readCheckpoint(records store.Backend, fp string) (core.Checkpoint, bool) {
+	raw, ok := records.Get("ckpt|" + fp)
+	if !ok {
+		return core.Checkpoint{}, false
+	}
+	cp, err := core.DecodeCheckpoint(raw)
+	if err != nil {
+		return core.Checkpoint{}, false
+	}
+	draw, ok := records.Get("ckptd|" + fp)
+	if !ok {
+		return cp, true
+	}
+	payload, legacy, err := codec.Header(draw, codec.KindCheckpointDelta)
+	if err != nil || legacy {
+		return cp, true
+	}
+	r := codec.NewReader(payload)
+	baseReq := r.Int()
+	delta := r.Rest()
+	if r.Err() != nil || baseReq != cp.Requests {
+		return cp, true
+	}
+	cur, err := codec.ApplyDelta(raw, delta)
+	if err != nil {
+		return cp, true
+	}
+	ncp, err := core.DecodeCheckpoint(cur)
+	if err != nil || ncp.Requests < cp.Requests {
+		return cp, true
+	}
+	return ncp, true
 }
 
 // storeFor resolves a Config's store: an already-open shared handle
@@ -291,17 +325,14 @@ func (cs *crawlStore) attach(env *core.Env, cfg Config, ns string) *persistedCra
 		doneKey: "done|" + cfgFingerprint(cfg, env.Root),
 		resumed: replay.Stored() > 0,
 	}
-	ckptKey := "ckpt|" + cfgFingerprint(cfg, env.Root)
-	env.Checkpoint = &storeSink{b: pc.records, key: ckptKey}
+	fp := cfgFingerprint(cfg, env.Root)
+	env.Checkpoint = &storeSink{b: pc.records, key: "ckpt|" + fp, deltaKey: "ckptd|" + fp}
 	// A prior run's last checkpoint re-seeds the partition frontiers of a
 	// resumed partitioned crawl (Config.Partitions). Pure warm-up: the
 	// snapshot only primes speculation, so a stale, missing, or
 	// differently-partitioned snapshot never changes the result.
-	if raw, ok := pc.records.Get(ckptKey); ok {
-		var cp core.Checkpoint
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err == nil {
-			env.FabricWarm = cp.FabricFrontiers
-		}
+	if cp, ok := readCheckpoint(pc.records, fp); ok {
+		env.FabricWarm = cp.FabricFrontiers
 	}
 	return pc
 }
@@ -313,21 +344,20 @@ func (pc *persistedCrawl) loadDone() (*core.Result, bool) {
 	if !ok {
 		return nil, false
 	}
-	var res core.Result
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&res); err != nil {
+	res, err := core.DecodeResult(raw)
+	if err != nil {
 		return nil, false
 	}
-	return &res, true
+	return res, true
 }
 
 // finish durably records the crawl's complete result, so a Resume of the
 // same Config returns it without re-executing.
 func (pc *persistedCrawl) finish(res *core.Result) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
-		return
-	}
-	if err := pc.records.Put(pc.doneKey, buf.Bytes()); err != nil {
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	*buf = core.AppendResult((*buf)[:0], res)
+	if err := pc.records.Put(pc.doneKey, *buf); err != nil {
 		return
 	}
 	pc.records.Sync()
@@ -344,22 +374,49 @@ func (pc *persistedCrawl) stats(completed bool) *StoreStats {
 	}
 }
 
+// checkpointFullEvery is the delta-encoding cadence K: a full checkpoint
+// blob every K checkpoints, byte-range deltas between. Successive
+// checkpoints of one crawl share most of their encoded bytes (a queue
+// frontier advancing keeps a long common suffix), so the deltas cost a
+// fraction of a full write.
+const checkpointFullEvery = 8
+
 // storeSink adapts the store to the engine's checkpoint hook: each
 // checkpoint is one durable record (last write wins; compaction reclaims
 // the lineage) and a sync, so the store on disk is never more than one
-// checkpoint interval behind the crawl.
+// checkpoint interval behind the crawl. Full blobs go under key; between
+// full writes, a delta against the last full blob goes under deltaKey,
+// tagged with the base's Requests sequence so readCheckpoint only applies
+// it to the base it was computed from. The engine checkpoints from its
+// sequential demand loop, so the scratch buffers are single-writer.
 type storeSink struct {
-	b   store.Backend
-	key string
+	b        store.Backend
+	key      string
+	deltaKey string
+	base     []byte // last full checkpoint's encoding (delta base)
+	baseReq  int    // Requests sequence of base
+	n        int    // deltas written since the last full blob
+	enc      []byte // checkpoint encode scratch
+	denc     []byte // delta encode scratch
 }
 
 func (s *storeSink) Checkpoint(cp core.Checkpoint) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
-		return
-	}
-	if err := s.b.Put(s.key, buf.Bytes()); err != nil {
-		return
+	s.enc = core.AppendCheckpoint(s.enc[:0], &cp)
+	if s.base == nil || s.n >= checkpointFullEvery-1 {
+		if err := s.b.Put(s.key, s.enc); err != nil {
+			return
+		}
+		s.base = append(s.base[:0], s.enc...)
+		s.baseReq = cp.Requests
+		s.n = 0
+	} else {
+		s.denc = codec.AppendHeader(s.denc[:0], codec.KindCheckpointDelta)
+		s.denc = codec.AppendInt(s.denc, s.baseReq)
+		s.denc = codec.AppendDelta(s.denc, s.base, s.enc)
+		if err := s.b.Put(s.deltaKey, s.denc); err != nil {
+			return
+		}
+		s.n++
 	}
 	s.b.Sync()
 }
@@ -391,12 +448,18 @@ func preloadSpecCache(cs *crawlStore, ns string, cache *fleet.SpecCache) {
 // next fleet (or a resumed one) starts warm.
 func persistSpecCache(cs *crawlStore, ns string, cache *fleet.SpecCache) {
 	b := store.Prefixed(cs.st, specPrefix(ns))
+	var kvs []store.KV
 	cache.Range(func(url string, resp fetch.Response) {
 		raw, err := fetch.EncodeResponse(resp)
 		if err != nil {
 			return
 		}
-		b.Put(url, raw)
+		kvs = append(kvs, store.KV{Key: url, Val: raw})
 	})
+	// One group commit: a single batch record, one buffered write, one
+	// flush — instead of a record header and CRC per cached response.
+	if err := b.PutBatch(kvs); err != nil {
+		return
+	}
 	b.Sync()
 }

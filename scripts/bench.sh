@@ -93,12 +93,15 @@ if [ "${1:-}" = "serve" ]; then
 	exit 0
 fi
 
-if [ "${1:-}" = "store" ]; then
+if [ "${1:-}" = "store" ] || [ "${1:-}" = "codec" ]; then
 	# Storage-layer trajectory: the internal/store segment-log benchmarks
-	# (replay-database round trip, snapshot compaction, resume overhead)
-	# recorded in BENCH_store.json.
+	# (replay-database round trip, group-commit batches, snapshot
+	# compaction, resume overhead) plus the internal/codec rows (the
+	# hand-written binary codec against the retained gob baseline),
+	# recorded together in BENCH_store.json — the codec and the log are one
+	# persistence plane. `codec` is an alias for the same recording.
 	OUT=${2:-BENCH_store.json}
-	go test -run '^$' -bench . -benchtime 1000x -json ./internal/store > "$OUT"
+	go test -run '^$' -bench . -benchtime 1000x -json ./internal/store ./internal/codec > "$OUT"
 	echo "wrote $OUT ($(grep -c '"Action"' "$OUT") events)" >&2
 	exit 0
 fi

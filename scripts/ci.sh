@@ -9,6 +9,14 @@ set -eux
 
 go build ./...
 go vet ./...
+# Gob-free hot path: encoding/gob survives only as the legacy-decode
+# fallback (one legacy_gob.go per package) and as the benchmark baseline in
+# test files. Any other import is a regression to the reflection codec.
+if grep -rn --include='*.go' '"encoding/gob"' . \
+	| grep -v '_test.go' | grep -v 'legacy_gob.go' | grep -v '^./testdata/'; then
+	echo "encoding/gob imported outside legacy_gob.go fallbacks" >&2
+	exit 1
+fi
 go test ./...
 # The race pass doubles as the pipeline determinism gate: it runs the
 # TestPrefetch* equivalence suite (byte-identical results at every prefetch
@@ -23,14 +31,26 @@ go test -run '^$' -bench 'BenchmarkPrefetchPipeline|BenchmarkFleetParallel|Bench
 # budgets (O(links) per page, never O(bytes); one output vector per
 # Vectorize), and the raw-text scan must stay copy-free.
 go test -run 'Alloc' -count=1 ./internal/dom ./internal/textvec
+# Codec allocation gate: the replay-record round trip — AppendResponse into
+# a reused buffer, DecodeResponseInto filling a reused struct with views —
+# and the checkpoint re-encode must allocate nothing in steady state.
+go test -run 'Alloc' -count=1 ./internal/codec
 # Fuzz seed-corpus gate: the tokenizer/extractor fuzz targets run their
 # checked-in seeds as ordinary tests (termination, Next/NextRaw agreement,
 # UTF-8 preservation, pool hygiene).
 go test -run 'Fuzz' -count=1 ./internal/dom
+# Codec/store fuzz seeds: every persistence-plane decoder survives
+# arbitrary bytes (accepted blobs must re-encode to identity), the segment
+# scanner never panics and reports mutated logs through Recovery(), and the
+# session-record decoder does the same for the daemon.
+go test -run 'Fuzz' -count=1 ./internal/codec ./internal/store ./internal/serve
 # Storage-layer smoke: the segment-log benchmarks behind BENCH_store.json
 # (round trip, snapshot compaction, resume/index-rebuild overhead) still
 # build and run.
-go test -run '^$' -bench 'BenchmarkStoreRoundTrip|BenchmarkStoreSnapshot|BenchmarkResumeOverhead' -benchtime 1x ./internal/store
+go test -run '^$' -bench 'BenchmarkStoreRoundTrip|BenchmarkStoreSnapshot|BenchmarkStorePutBatch|BenchmarkResumeOverhead' -benchtime 1x ./internal/store
+# Codec-vs-gob smoke: the round-trip benchmark behind the ≥3x/≥10x
+# acceptance numbers still builds and runs.
+go test -run '^$' -bench 'BenchmarkCodecRoundTrip' -benchtime 1x ./internal/codec
 # Fabric smoke: the partitioned-crawl benchmark behind BENCH_fabric.json
 # still builds and runs.
 go test -run '^$' -bench 'BenchmarkFabricPartitions' -benchtime 1x .
@@ -43,6 +63,11 @@ go test -race -run 'TestFabricEquivalence|TestFabricResumeEquivalence' -count=1 
 # resume over the persistent store must stay byte-identical to an
 # uninterrupted run for every strategy and prefetch width.
 go test -race -run 'TestResumeEquivalence' -count=1 .
+# Cross-version gate, under -race: the checked-in gob-era golden stores
+# resume byte-identically through the legacy-decode fallback, records from
+# a future format version are refused with the typed error, and the
+# delta-encoded checkpoint chain resolves to the newest checkpoint.
+go test -race -run 'TestGobStore|TestCodecStoreRefuses|TestDeltaCheckpoints' -count=1 .
 # Daemon smoke, explicitly under -race: the crawld session lifecycle, the
 # kill-the-daemon resume equivalence, and multi-tenant fairness — the serve
 # layer multiplexes sessions over shared state, so race-clean is a hard

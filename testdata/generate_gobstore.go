@@ -1,0 +1,61 @@
+//go:build ignore
+
+// Generates the gob-era golden store fixtures under testdata/: stores whose
+// replay records, checkpoints, and done-records were written by the
+// reflection-based encoding/gob codec that preceded internal/codec. The
+// cross-version resume gate (resume_compat_test.go) opens copies of these
+// stores under the new codec and must reproduce the uninterrupted crawl
+// byte-identically via the legacy-decode fallback.
+//
+// This program only produces gob-format stores when run at a pre-codec
+// commit (it was run once at PR 9's HEAD); running it after the codec
+// landed would emit codec-format records and defeat the fixture. Kept for
+// provenance, excluded from builds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sbcrawl"
+)
+
+func main() {
+	site, err := sbcrawl.GenerateSite("ab", 0.01, 2)
+	if err != nil {
+		panic(err)
+	}
+	// Fixture 1: a crawl killed at request 13 — partial replay database plus
+	// mid-flight checkpoints (CheckpointEvery=4 so the tiny budget still
+	// checkpoints), no done-record.
+	os.RemoveAll("testdata/gobstore_partial")
+	killCfg := sbcrawl.Config{
+		Strategy:        sbcrawl.StrategyBFS,
+		Seed:            1,
+		MaxRequests:     13,
+		CheckpointEvery: 4,
+		StorePath:       "testdata/gobstore_partial",
+	}
+	if _, err := sbcrawl.CrawlSite(site, killCfg); err != nil {
+		panic(err)
+	}
+	// Fixture 2: a completed fleet over the same site — replay records,
+	// checkpoints, a done-record, and the speculation-cache spill. The
+	// budget keeps the fixture small; it joins the done-record fingerprint,
+	// so the compat test resumes with the identical MaxRequests.
+	os.RemoveAll("testdata/gobstore_done")
+	cfg := sbcrawl.Config{
+		Strategy:        sbcrawl.StrategyBFS,
+		Seed:            1,
+		MaxRequests:     48,
+		CheckpointEvery: 4,
+		StorePath:       "testdata/gobstore_done",
+	}
+	if _, err := sbcrawl.CrawlSites([]*sbcrawl.Site{site}, cfg, sbcrawl.FleetOptions{Workers: 1}); err != nil {
+		panic(err)
+	}
+	for _, dir := range []string{"testdata/gobstore_partial", "testdata/gobstore_done"} {
+		os.Remove(dir + "/LOCK") // recreated by Open; not part of the fixture
+		fmt.Println("wrote", dir)
+	}
+}

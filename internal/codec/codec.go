@@ -339,9 +339,12 @@ func (r *Reader) Float64() float64 {
 	return v
 }
 
-// take returns the next n raw bytes as a view.
+// take returns the next n raw bytes as a view. The bound is written as a
+// subtraction (n > remaining) rather than r.off+n > len(r.b): a corrupt
+// length prefix can put n anywhere up to 2^63-1, and the addition would
+// overflow int and slip past the check.
 func (r *Reader) take(n int) []byte {
-	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+	if r.err != nil || n < 0 || n > len(r.b)-r.off {
 		r.fail()
 		return nil
 	}
@@ -350,17 +353,19 @@ func (r *Reader) take(n int) []byte {
 	return v
 }
 
-// sliceLen reads a nil-aware length prefix: ok=false for nil, else the
+// SliceLen reads a nil-aware length prefix: ok=false for nil, else the
 // element count. The count is bounded by the remaining payload (every
 // element costs at least one byte), so a corrupt length cannot force a
-// huge allocation.
-func (r *Reader) sliceLen() (n int, ok bool) {
+// huge allocation or a negative make cap. Decoders outside this package
+// that read counted sequences element-by-element must use this rather
+// than reading the prefix with Uvarint directly.
+func (r *Reader) SliceLen() (n int, ok bool) {
 	v := r.Uvarint()
 	if v == 0 {
 		return 0, false
 	}
 	n = int(v - 1)
-	if n > len(r.b)-r.off {
+	if n < 0 || n > len(r.b)-r.off {
 		r.fail()
 		return 0, false
 	}
@@ -386,7 +391,7 @@ func (r *Reader) String() string {
 
 // View reads a nil-aware byte slice as a zero-copy view.
 func (r *Reader) View() []byte {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -399,7 +404,7 @@ func (r *Reader) View() []byte {
 
 // Bytes reads a nil-aware byte slice, materialized.
 func (r *Reader) Bytes() []byte {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -414,7 +419,7 @@ func (r *Reader) Bytes() []byte {
 
 // Strings reads a nil-aware string slice, materialized.
 func (r *Reader) Strings() []string {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -430,7 +435,7 @@ func (r *Reader) Strings() []string {
 
 // ViewStrings reads a nil-aware string slice of zero-copy views.
 func (r *Reader) ViewStrings() []string {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -446,7 +451,7 @@ func (r *Reader) ViewStrings() []string {
 
 // Ints reads a nil-aware []int.
 func (r *Reader) Ints() []int {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -462,7 +467,7 @@ func (r *Reader) Ints() []int {
 
 // Int32s reads a nil-aware []int32.
 func (r *Reader) Int32s() []int32 {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}
@@ -478,7 +483,7 @@ func (r *Reader) Int32s() []int32 {
 
 // Int64s reads a nil-aware []int64.
 func (r *Reader) Int64s() []int64 {
-	n, ok := r.sliceLen()
+	n, ok := r.SliceLen()
 	if !ok {
 		return nil
 	}

@@ -52,7 +52,10 @@ func ApplyDelta(base, delta []byte) ([]byte, error) {
 	if int(baseLen) != len(base) {
 		return nil, fmt.Errorf("%w: delta base length %d, have %d", ErrCorrupt, baseLen, len(base))
 	}
-	if p+s > uint64(len(base)) {
+	// Checked as two subtractions, not p+s > len(base): p and s come off
+	// the wire and their sum can wrap uint64, slipping past a combined
+	// check and panicking at the slice expressions below.
+	if p > uint64(len(base)) || s > uint64(len(base))-p {
 		return nil, fmt.Errorf("%w: delta prefix+suffix exceed base", ErrCorrupt)
 	}
 	out := make([]byte, 0, int(p)+len(mid)+int(s))

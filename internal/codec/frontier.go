@@ -102,7 +102,7 @@ func DecodeFrontierState(raw []byte) (interface{}, error) {
 		state = frontier.RandomState{Items: r.Strings(), Seed: r.Varint(), Draws: r.Varint()}
 	case frontierPriority:
 		var st frontier.PriorityState
-		if n, ok := r.sliceLen(); ok {
+		if n, ok := r.SliceLen(); ok {
 			st.Entries = make([]frontier.PriorityEntry, 0, n)
 			for i := 0; i < n && r.Err() == nil; i++ {
 				st.Entries = append(st.Entries, frontier.PriorityEntry{
@@ -116,7 +116,7 @@ func DecodeFrontierState(raw []byte) (interface{}, error) {
 		state = st
 	case frontierGrouped:
 		var st frontier.GroupedState
-		if n, ok := r.sliceLen(); ok {
+		if n, ok := r.SliceLen(); ok {
 			st.Actions = make(map[int][]string, n)
 			for i := 0; i < n && r.Err() == nil; i++ {
 				a := r.Int()

@@ -7,6 +7,7 @@ package codec_test
 // re-encoded canonical bytes decode back to a DeepEqual value.
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -30,6 +31,13 @@ func FuzzCodec(f *testing.F) {
 	f.Add([]byte{codec.Tag, codec.Version1, codec.KindResponse})
 	f.Add([]byte{codec.Tag, 0x7F, codec.KindResult, 1, 2, 3})
 	f.Add([]byte{0x21, 0xFF, 0x81})
+	// Regression seeds (see corrupt_test.go): a string length prefix near
+	// 2^63 that used to overflow the Reader.take bounds check, and a
+	// checkpoint element count far beyond the payload that used to drive an
+	// unbounded make.
+	f.Add(binary.AppendUvarint(codec.AppendHeader(nil, codec.KindResult), 1<<63-1))
+	cpb := core.EncodeCheckpoint(&core.Checkpoint{})
+	f.Add(binary.AppendUvarint(cpb[:len(cpb)-1], 1<<40+1))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
@@ -85,6 +93,13 @@ func FuzzDelta(f *testing.F) {
 	f.Add([]byte("base bytes here"), []byte("base bytes two"), []byte{})
 	f.Add([]byte(""), []byte("grown"), []byte{0, 0, 0, 0})
 	f.Add([]byte("abc"), []byte("abc"), []byte{3, 3, 0, 0})
+	// Regression seed: prefix+suffix lengths whose uint64 sum wraps used to
+	// slip past the exceed-base guard and panic (see corrupt_test.go).
+	wrap := binary.AppendUvarint(nil, 4)
+	wrap = binary.AppendUvarint(wrap, 1<<64-1)
+	wrap = binary.AppendUvarint(wrap, 2)
+	wrap = binary.AppendUvarint(wrap, 0)
+	f.Add([]byte("0123"), []byte("0123"), wrap)
 	f.Fuzz(func(t *testing.T, base, cur, junk []byte) {
 		if len(base) > 1<<16 || len(cur) > 1<<16 {
 			return

@@ -65,22 +65,13 @@ func DecodeCheckpoint(raw []byte) (Checkpoint, error) {
 	cp.Visited = r.Int()
 	cp.TunerWindow = r.Int()
 	cp.Frontier = r.Bytes()
-	if n, ok := readSliceLen(&r); ok {
+	if n, ok := r.SliceLen(); ok {
 		cp.FabricFrontiers = make([][]byte, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			cp.FabricFrontiers = append(cp.FabricFrontiers, r.Bytes())
 		}
 	}
 	return cp, r.Close()
-}
-
-// readSliceLen reads the nil-aware element count (false for nil).
-func readSliceLen(r *codec.Reader) (int, bool) {
-	v := r.Uvarint()
-	if v == 0 {
-		return 0, false
-	}
-	return int(v - 1), true
 }
 
 // AppendResult appends the codec encoding of res to dst.
@@ -184,7 +175,7 @@ func DecodeResult(raw []byte) (*Result, error) {
 	res.NonTargetBytes = r.Varint()
 	res.Steps = r.Int()
 	res.EarlyStopped = r.Bool()
-	if n, ok := readSliceLen(&r); ok {
+	if n, ok := r.SliceLen(); ok {
 		res.Actions = make([]ActionStat, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			res.Actions = append(res.Actions, ActionStat{

@@ -1,8 +1,11 @@
 package serve
 
 // Binary codec for durable session records (internal/codec framing,
-// KindSessionRecord). Created travels as UnixNano; reload falls back to
-// the gob decoder for records written before the codec (legacy_gob.go).
+// KindSessionRecord). Created travels as a Unix seconds + nanosecond
+// pair — not UnixNano, which is undefined outside years 1678–2262 and
+// silently mangles the zero time a sparse gob-era record decodes to.
+// Reload falls back to the gob decoder for records written before the
+// codec (legacy_gob.go).
 
 import (
 	"time"
@@ -29,7 +32,8 @@ func encodeSessionRecord(rec *sessionRecord) []byte {
 	}
 	dst = codec.AppendStrings(dst, rec.Spec.Roots)
 	dst = codec.AppendBool(dst, rec.Cancelled)
-	dst = codec.AppendVarint(dst, rec.Created.UnixNano())
+	dst = codec.AppendVarint(dst, rec.Created.Unix())
+	dst = codec.AppendVarint(dst, int64(rec.Created.Nanosecond()))
 	return dst
 }
 
@@ -75,8 +79,7 @@ func decodeSessionRecord(raw []byte) (sessionRecord, error) {
 	rec.Spec.Name = r.String()
 	rec.Spec.Weight = r.Int()
 	readCrawlSpec(&r, &rec.Spec.Crawl)
-	if v := r.Uvarint(); v > 0 {
-		n := int(v - 1)
+	if n, ok := r.SliceLen(); ok {
 		rec.Spec.Sites = make([]SiteSpec, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			rec.Spec.Sites = append(rec.Spec.Sites, SiteSpec{
@@ -88,7 +91,8 @@ func decodeSessionRecord(raw []byte) (sessionRecord, error) {
 	}
 	rec.Spec.Roots = r.Strings()
 	rec.Cancelled = r.Bool()
-	rec.Created = time.Unix(0, r.Varint())
+	sec := r.Varint()
+	rec.Created = time.Unix(sec, r.Varint())
 	return rec, r.Close()
 }
 

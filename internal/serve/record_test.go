@@ -63,6 +63,9 @@ func TestSessionRecordRoundTrip(t *testing.T) {
 	cases := []sessionRecord{
 		sampleRecord(),
 		{Created: time.Unix(0, 42)}, // zero spec: nil sites, roots, MIMEs
+		// Zero Created (what a sparse gob-era record decodes to) sits
+		// outside UnixNano's valid range; it must survive re-encoding.
+		{},
 		{Spec: SessionSpec{Roots: []string{"http://s/"}, Sites: []SiteSpec{}}, Cancelled: true, Created: time.Unix(0, 1)},
 	}
 	for i, want := range cases {

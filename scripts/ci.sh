@@ -44,6 +44,15 @@ go test -run 'Fuzz' -count=1 ./internal/dom
 # scanner never panics and reports mutated logs through Recovery(), and the
 # session-record decoder does the same for the daemon.
 go test -run 'Fuzz' -count=1 ./internal/codec ./internal/store ./internal/serve
+# Real fuzzing, time-boxed: running only the checked-in seeds does not
+# actually enforce the never-panic invariant (corrupt-length overflow
+# panics sailed through the seed-only gate and fell to a real -fuzz run in
+# seconds), so each persistence-plane target gets a short live pass.
+# Mutated crashers land in testdata/fuzz/ and fail the build.
+go test -run '^$' -fuzz '^FuzzCodec$' -fuzztime 30s ./internal/codec
+go test -run '^$' -fuzz '^FuzzDelta$' -fuzztime 10s ./internal/codec
+go test -run '^$' -fuzz '^FuzzScanSegment$' -fuzztime 10s ./internal/store
+go test -run '^$' -fuzz '^FuzzSessionRecord$' -fuzztime 10s ./internal/serve
 # Storage-layer smoke: the segment-log benchmarks behind BENCH_store.json
 # (round trip, snapshot compaction, resume/index-rebuild overhead) still
 # build and run.
